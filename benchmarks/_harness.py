@@ -1,0 +1,12 @@
+"""Importable helper for the benchmark files (kept out of conftest so
+``from _harness import run_and_report`` works under pytest's rootdir
+insertion)."""
+
+
+def run_and_report(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under the benchmark timer and print it."""
+    report = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                iterations=1)
+    print()
+    print(report.rendered())
+    return report

@@ -1,0 +1,43 @@
+"""Bench: design-choice ablations (hysteresis, perf slack, keep-alive)."""
+
+from repro.experiments import ablations
+
+from _harness import run_and_report
+
+
+def test_ablation_hysteresis(benchmark, scale):
+    duration, _ = scale
+    report = run_and_report(benchmark, ablations.run_hysteresis,
+                            duration=duration)
+    # More down-damping never increases switch churn (same up limit).
+    by = {(r[0], r[1]): r for r in report.rows}
+    for up in (1, 3, 6):
+        assert by[(up, 20)][4] <= by[(up, 3)][4]
+
+
+def test_ablation_perf_slack(benchmark, scale):
+    duration, _ = scale
+    report = run_and_report(benchmark, ablations.run_perf_slack,
+                            duration=duration)
+    assert len(report.rows) == 4
+
+
+def test_ablation_keep_alive(benchmark, scale):
+    duration, _ = scale
+    report = run_and_report(benchmark, ablations.run_keep_alive,
+                            duration=duration)
+    by = {r[0]: r for r in report.rows}
+    # Delayed termination slashes cold starts versus immediate scale-down
+    # (the paper reports up to 98% fewer).
+    assert by[600.0][2] <= by[0.0][2]
+
+
+def test_ablation_contention_awareness(benchmark, scale):
+    duration, _ = scale
+    report = run_and_report(benchmark, ablations.run_contention_awareness,
+                            duration=duration)
+    by = {r[0]: r for r in report.rows}
+    # The future-work extension recovers compliance lost to co-location.
+    assert (
+        by["paldia_contention_aware"][1] >= by["paldia"][1] - 0.5
+    )

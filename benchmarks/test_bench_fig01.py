@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig 1 (motivation: sharing-mode tradeoffs)."""
+
+from repro.experiments import fig01
+
+from _harness import run_and_report
+
+
+def test_fig01_motivation(benchmark, scale):
+    duration, _ = scale
+    report = run_and_report(
+        benchmark, fig01.run, duration=min(duration, 300.0), seed=0
+    )
+    rows = report.row_map(key_cols=2)
+    # Offline Hybrid (on the M60) must beat both pure-$ modes per model.
+    for model in ("senet18", "densenet121"):
+        hybrid = rows[("offline_hybrid", model)][3]
+        time_only = rows[("time_shared_$", model)][3]
+        mps_only = rows[("mps_only_$", model)][3]
+        assert hybrid >= time_only - 1.0
+        assert hybrid >= mps_only - 1.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig 4 (P99 latency breakdowns)."""
+
+from repro.experiments import fig04
+
+from _harness import run_and_report
+
+
+def test_fig04_tail_breakdowns(benchmark, scale):
+    duration, _ = scale
+    report = run_and_report(benchmark, fig04.run, duration=duration,
+                            repetitions=1)
+    rows = {(r[0], r[1]): r for r in report.rows}
+    # INFless/Llama($)'s ResNet 50 tail is interference-dominated (the
+    # paper: 76%) and Molecule($)'s VGG 19 tail queueing-dominated (84%).
+    inf = rows[("infless_llama_$", "resnet50")]
+    mol = rows[("molecule_$", "vgg19")]
+    assert inf[6] > inf[5]   # interference share > queue share
+    assert mol[5] > mol[6]   # queue share > interference share
+    # Paldia's total overhead is below both baselines' on vgg19.
+    paldia = rows[("paldia", "vgg19")]
+    assert paldia[3] + paldia[4] <= mol[3] + mol[4]

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig 5 (normalized cost vs SLO compliance)."""
+
+from repro.experiments import fig05
+
+from _harness import run_and_report
+
+
+def test_fig05_cost_vs_compliance(benchmark, scale):
+    duration, reps = scale
+    report = run_and_report(benchmark, fig05.run, duration=duration,
+                            repetitions=reps)
+    rows = {(r[0], r[1]): r for r in report.rows}
+    for model in fig05.MODELS:
+        paldia_cost = rows[("paldia", model)][2]
+        molP_cost = rows[("molecule_P", model)][2]
+        mol_cost = rows[("molecule_$", model)][2]
+        # (P) schemes cost several times Paldia (paper: ~6.9x).
+        assert molP_cost / paldia_cost >= 2.0
+        # Paldia sits near the cost-effective price point.
+        assert paldia_cost <= 1.6 * mol_cost
+        # ...while being more SLO compliant than the $ baselines.
+        assert rows[("paldia", model)][5] >= rows[("molecule_$", model)][5] - 0.5

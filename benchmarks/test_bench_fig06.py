@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig 6 (latency CDF, SENet 18)."""
+
+from repro.experiments import fig06
+
+from _harness import run_and_report
+
+
+def test_fig06_latency_cdf(benchmark, scale):
+    duration, _ = scale
+    report = run_and_report(benchmark, fig06.run, duration=duration,
+                            repetitions=1)
+    rows = {r[0]: r for r in report.rows}
+    # Paldia stays within the SLO through P99 (or at worst only the very
+    # tail exceeds); the (P) schemes are far inside it.
+    assert rows["paldia"][5] <= 250.0  # P99 ms
+    assert rows["molecule_P"][5] <= 200.0
+    # The (P) schemes' P99 is below Paldia's (they overprovision).
+    assert rows["molecule_P"][5] <= rows["paldia"][5] + 1e-9

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig 7 (goodput under surges + normalized power)."""
+
+from repro.experiments import fig07
+
+from _harness import run_and_report
+
+
+def test_fig07_goodput_and_power(benchmark, scale):
+    duration, reps = scale
+    report = run_and_report(benchmark, fig07.run, duration=duration,
+                            repetitions=reps)
+    good = {r[1]: r for r in report.rows if r[0] == "goodput"}
+    power = {r[1]: r for r in report.rows if r[0] == "power"}
+    # Paldia's surge goodput fraction beats both cost-effective baselines
+    # (paper: 95% of ideal vs 27%/34%).
+    assert good["paldia"][5] >= good["molecule_$"][5]
+    assert good["paldia"][5] >= good["infless_llama_$"][5]
+    # Paldia draws less average power than the (P) schemes (paper: ~45%).
+    assert power["paldia"][3] < power["molecule_P"][3]

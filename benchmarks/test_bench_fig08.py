@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig 8 (node utilization, VGG 19)."""
+
+from repro.experiments import fig08
+
+from _harness import run_and_report
+
+
+def test_fig08_utilization(benchmark, scale):
+    duration, reps = scale
+    report = run_and_report(benchmark, fig08.run, duration=duration,
+                            repetitions=reps)
+    rows = {r[0]: r for r in report.rows}
+    # The (P) schemes' brawny V100 is much less utilized than the
+    # cost-effective schemes' GPUs (paper: up to 60% less).
+    assert rows["molecule_P"][2] < rows["molecule_$"][2]
+    assert rows["molecule_P"][2] < rows["paldia"][2]
+    # Cost-effective schemes use CPU nodes at low traffic.
+    assert rows["paldia"][1] != "-"

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figs 9-10 (language models: compliance + cost)."""
+
+from repro.experiments import fig09_10
+
+from _harness import run_and_report
+
+
+def test_fig09_10_language_models(benchmark, scale):
+    duration, reps = scale
+    report = run_and_report(benchmark, fig09_10.run, duration=duration,
+                            repetitions=reps)
+    by = {(r[0], r[1]): r for r in report.rows}
+    models = sorted({r[1] for r in report.rows})
+    assert len(models) == 4
+    for model in models:
+        # Paldia above the cost-effective baselines (paper: 99.54 vs 97.73)
+        assert by[("paldia", model)][2] >= by[("infless_llama_$", model)][2] - 0.5
+        # ...at a fraction of the (P) schemes' cost (paper: ~29%).
+        assert (
+            by[("paldia", model)][3] <= 0.7 * by[("molecule_P", model)][3]
+        )

@@ -1,0 +1,26 @@
+"""Bench: sensitivity sweeps (SLO deadline, interference curvature)."""
+
+from repro.experiments import sweeps
+
+from _harness import run_and_report
+
+
+def test_sweep_slo(benchmark, scale):
+    duration, _ = scale
+    report = run_and_report(benchmark, sweeps.run_slo_sweep,
+                            duration=duration)
+    by = {r[0]: r for r in report.rows}
+    # A looser deadline is never harder to meet.
+    assert by[400.0][1] >= by[100.0][1] - 1.0
+
+
+def test_sweep_interference(benchmark, scale):
+    duration, _ = scale
+    report = run_and_report(benchmark, sweeps.run_interference_sweep,
+                            alphas=(1.0, 1.25), duration=duration)
+    by = {(r[0], r[1]): r for r in report.rows}
+    # Steeper co-location penalties hurt the interference-agnostic scheme
+    # far more than Paldia (the motivation's whole premise).
+    inf_drop = by[(1.0, "infless_llama_$")][2] - by[(1.25, "infless_llama_$")][2]
+    paldia_drop = by[(1.0, "paldia")][2] - by[(1.25, "paldia")][2]
+    assert inf_drop >= paldia_drop - 1.0

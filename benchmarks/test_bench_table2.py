@@ -1,0 +1,17 @@
+"""Bench: regenerate Table II (worker catalog + profiled rows)."""
+
+from repro.experiments import table2
+
+from _harness import run_and_report
+
+
+def test_table2_catalog(benchmark):
+    report = run_and_report(benchmark, table2.run)
+    assert len(report.rows) == 6
+    names = [r[0] for r in report.rows]
+    assert names == [
+        "m4.xlarge", "c6i.2xlarge", "c6i.4xlarge",
+        "g3s.xlarge", "p2.xlarge", "p3.2xlarge",
+    ]
+    costs = [r[3] for r in report.rows]
+    assert costs[0] == "$0.2/h" and costs[-1] == "$3.06/h"

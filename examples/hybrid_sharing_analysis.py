@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Explore Equation (1): the spatio-temporal split on one GPU.
+
+For a burst of N requests on a chosen GPU, sweeps the number of queued
+requests y and prints the predicted worst-case completion time T_max(y)
+(queueing term, interference term, total), the optimal split, and how the
+optimum moves with the burst size — the quantitative heart of the paper
+(Section III).
+
+Run:  python examples/hybrid_sharing_analysis.py
+"""
+
+import numpy as np
+
+from repro import ProfileService, get_model
+from repro.analysis import render_table
+from repro.core.model import optimal_split, t_max_curve
+
+
+def main() -> None:
+    profiles = ProfileService()
+    model = get_model("resnet50")
+    hw = profiles.catalog.get("g3s.xlarge")  # the cost-effective M60
+    slo = 0.200
+    batch = profiles.best_batch(model, hw, slo)
+    solo = profiles.solo_time(model, hw, batch)
+    fbr = profiles.fbr(model, hw)
+    print(
+        f"{model.display_name} on {hw}: batch {batch}, "
+        f"solo {solo * 1e3:.1f} ms, FBR {fbr:.2f}\n"
+    )
+
+    # --- T_max(y) curve for one burst -----------------------------------
+    n = 4 * batch
+    y = np.arange(0, n + 1, batch // 2)
+    t = t_max_curve(y, n, batch, solo, fbr, profiles.interference)
+    rows = [
+        [int(yi), f"{1e3 * solo * (yi / batch):.1f}",
+         f"{1e3 * (ti - solo * (yi / batch)):.1f}", f"{1e3 * ti:.1f}"]
+        for yi, ti in zip(y, t)
+    ]
+    print(
+        render_table(
+            ["y (queued)", "queue term ms", "spatial term ms", "T_max ms"],
+            rows,
+            title=f"Equation (1) sweep for a burst of N={n} requests",
+        )
+    )
+
+    # --- optimal split vs burst size -------------------------------------
+    print()
+    rows = []
+    for mult in (1, 2, 4, 8, 12):
+        n = mult * batch
+        d = optimal_split(
+            n, batch, solo, fbr, slo,
+            interference=profiles.interference,
+            max_coresident=profiles.max_coresident(model, hw),
+        )
+        rows.append(
+            [n, d.y, d.n_spatial, d.n_spatial_batches,
+             f"{d.t_max * 1e3:.1f}", d.feasible]
+        )
+    print(
+        render_table(
+            ["N", "y*", "spatial", "spatial batches", "T_max ms", "fits SLO"],
+            rows,
+            title="Optimal split vs burst size (hybrid kicks in as N grows)",
+        )
+    )
+    print(
+        "\nWhen no split fits the SLO, Hardware Selection moves to the next "
+        "more performant GPU (Section III)."
+    )
+
+
+if __name__ == "__main__":
+    main()

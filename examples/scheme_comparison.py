@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Compare Paldia against the paper's baselines on one workload.
+
+Reproduces the core of the evaluation for a single model: Paldia vs the
+INFless/Llama and Molecule (beta) cost-effective ($) and performant (P)
+variants, plus the clairvoyant Oracle, on the same Azure trace.  Prints the
+SLO compliance / tail latency / cost table (the Fig 3 + Fig 5 story).
+
+Run:  python examples/scheme_comparison.py [model_name]
+"""
+
+import sys
+
+from repro import ProfileService, SLO, ServerlessRun, azure_trace, get_model
+from repro.analysis import render_table, scheme_label
+from repro.experiments.schemes import SCHEMES, make_policy
+
+
+def main(model_name: str = "resnet50") -> None:
+    model = get_model(model_name)
+    profiles = ProfileService()
+    slo = SLO()
+    trace = azure_trace(peak_rps=model.peak_rps, duration=300.0, seed=11)
+
+    rows = []
+    for scheme in list(SCHEMES) + ["oracle"]:
+        policy = make_policy(scheme, model, profiles, slo.target_seconds, trace)
+        result = ServerlessRun(model, trace, policy, profiles, slo).execute()
+        rows.append(
+            [
+                scheme_label(scheme),
+                f"{100 * result.slo_compliance:.2f}",
+                f"{result.p99_seconds * 1e3:.1f}",
+                f"{result.total_cost:.4f}",
+                result.n_switches,
+            ]
+        )
+    print(
+        render_table(
+            ["scheme", "SLO %", "P99 ms", "cost $", "switches"],
+            rows,
+            title=f"{model.display_name} on the Azure trace "
+            f"(peak {model.peak_rps:.0f} rps, SLO {slo.target_ms:.0f} ms)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "resnet50")

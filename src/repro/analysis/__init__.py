@@ -1,0 +1,33 @@
+"""Analysis: statistics, tail breakdowns, and report rendering."""
+
+from repro.analysis.breakdown import TailBreakdown, tail_breakdown_of
+from repro.analysis.report import (
+    SCHEME_LABELS,
+    format_value,
+    render_kv,
+    render_table,
+    scheme_label,
+)
+from repro.analysis.timeline import (
+    hardware_timeline,
+    rate_sparkline,
+    render_run_timeline,
+)
+from repro.analysis.stats import (
+    RunSummary,
+    cdf_points,
+    compliance_percent,
+    drop_outliers,
+    mean_without_outliers,
+    normalize,
+    percentile,
+    summarize_runs,
+)
+
+__all__ = [
+    "RunSummary", "SCHEME_LABELS", "TailBreakdown", "cdf_points",
+    "compliance_percent", "drop_outliers", "format_value",
+    "hardware_timeline", "mean_without_outliers", "normalize", "percentile",
+    "rate_sparkline", "render_kv", "render_run_timeline",
+    "render_table", "scheme_label", "summarize_runs", "tail_breakdown_of",
+]

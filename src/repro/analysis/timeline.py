@@ -1,0 +1,79 @@
+"""ASCII timelines: rate curve vs hardware choice over a run.
+
+A terminal-friendly view of what the scheduler did: the offered-rate
+sparkline on top, the serving node per time bucket underneath.  Used by
+the examples and handy when debugging policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework.system import RunResult
+from repro.workloads.traces import Trace
+
+__all__ = ["rate_sparkline", "hardware_timeline", "render_run_timeline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+#: One-letter codes per node type for the timeline strip.
+_NODE_CODES = {
+    "p3.2xlarge": "V",   # V100
+    "p2.xlarge": "K",    # K80
+    "g3s.xlarge": "M",   # M60
+    "c6i.4xlarge": "c",
+    "c6i.2xlarge": "c",
+    "m4.xlarge": "c",
+    "-": ".",
+}
+
+
+def rate_sparkline(trace: Trace, width: int = 80) -> str:
+    """The offered-rate curve as a unicode sparkline of ``width`` chars."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    rates = trace.bin_rates
+    if rates.size == 0:
+        return ""
+    edges = np.linspace(0, rates.size, width + 1).astype(int)
+    buckets = [
+        rates[a:b].mean() if b > a else 0.0 for a, b in zip(edges, edges[1:])
+    ]
+    peak = max(max(buckets), 1e-12)
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, int(round(v / peak * (len(_BLOCKS) - 1))))]
+        for v in buckets
+    )
+
+
+def hardware_timeline(
+    result: RunResult, duration: float, width: int = 80
+) -> str:
+    """One character per time bucket naming the node serving traffic."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    log = sorted(result.switch_log)
+    strip = []
+    for i in range(width):
+        t = (i + 0.5) * duration / width
+        current = "-"
+        for when, _frm, to in log:
+            if when <= t:
+                current = to
+            else:
+                break
+        strip.append(_NODE_CODES.get(current, "?"))
+    return "".join(strip)
+
+
+def render_run_timeline(
+    result: RunResult, trace: Trace, width: int = 80
+) -> str:
+    """Sparkline + hardware strip + legend, ready to print."""
+    lines = [
+        f"offered rate (peak {trace.peak_rps:.0f} rps):",
+        "  " + rate_sparkline(trace, width),
+        "serving node (V=V100 K=K80 M=M60 c=CPU):",
+        "  " + hardware_timeline(result, trace.duration, width),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Oracle: the clairvoyant upper bound (Fig 11).
+
+The Oracle runs *all of Paldia's policies* but with perfect knowledge of
+the request trace: it predicts future rates exactly (reads the trace's rate
+curve), needs no hysteresis (its predictions never mislead), and switches
+hardware without transition overlap (it procured the right node ahead of
+time).  The paper shows Paldia lands within ~0.8% SLO compliance and ~1%
+cost of this bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.paldia import PaldiaPolicy
+from repro.core.predictor import OraclePredictor
+from repro.hardware.profiles import ProfileService
+from repro.workloads.models import ModelSpec
+from repro.workloads.traces import Trace
+
+__all__ = ["OraclePolicy"]
+
+
+class OraclePolicy(PaldiaPolicy):
+    """Paldia with clairvoyant prediction and free hardware transitions."""
+
+    name = "oracle"
+    instant_switch = True
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        profiles: ProfileService,
+        slo_seconds: float,
+        trace: Trace,
+        lookahead_seconds: float = 4.0,
+        plan_horizon_seconds: float = 1.0,
+        latency_budget_fraction: float = 0.9,
+    ) -> None:
+        super().__init__(
+            model=model,
+            profiles=profiles,
+            slo_seconds=slo_seconds,
+            predictor=OraclePredictor(trace),
+            # Clairvoyant predictions are trustworthy on the first tick.
+            wait_limit=1,
+            wait_limit_down=6,
+            lookahead_seconds=lookahead_seconds,
+            plan_horizon_seconds=plan_horizon_seconds,
+            latency_budget_fraction=latency_budget_fraction,
+        )

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``profiles [MODEL]``
+    Print Table II and the profiled rows for a model.
+``run MODEL [--scheme S] [--trace T] [--duration D] [--seed N]``
+    Serve one workload with one scheme and print the headline metrics.
+``compare MODEL [...]``
+    All schemes side by side on the same trace.
+``experiment ID [...]``
+    Regenerate one paper figure/table (fig1, fig3, ..., table3, ablations).
+``list``
+    Show available models, schemes, traces, and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.report import render_kv, render_table, scheme_label
+from repro.experiments import (
+    ablations,
+    fig01,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09_10,
+    fig11,
+    fig12,
+    fig13,
+    table2,
+    table3,
+)
+from repro.experiments.schemes import SCHEMES, make_policy
+from repro.framework.slo import SLO
+from repro.framework.system import ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.workloads.models import ALL_MODELS, get_model
+from repro.workloads.traces import (
+    azure_trace,
+    poisson_trace,
+    twitter_trace,
+    wiki_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig1": lambda a: fig01.run(duration=a.duration, seed=a.seed),
+    "fig3": lambda a: fig03.run(duration=a.duration, repetitions=a.repetitions),
+    "fig4": lambda a: fig04.run(duration=a.duration, repetitions=1),
+    "fig5": lambda a: fig05.run(duration=a.duration, repetitions=a.repetitions),
+    "fig6": lambda a: fig06.run(duration=a.duration, repetitions=1),
+    "fig7": lambda a: fig07.run(duration=a.duration, repetitions=a.repetitions),
+    "fig8": lambda a: fig08.run(duration=a.duration, repetitions=a.repetitions),
+    "fig9_10": lambda a: fig09_10.run(duration=a.duration, repetitions=a.repetitions),
+    "fig11": lambda a: fig11.run(duration=a.duration, repetitions=a.repetitions),
+    "fig12": lambda a: fig12.run(duration=a.duration, repetitions=a.repetitions),
+    "fig13": lambda a: fig13.run(duration=a.duration, repetitions=a.repetitions),
+    "table2": lambda a: table2.run(),
+    "table3": lambda a: table3.run(duration=a.duration, repetitions=a.repetitions),
+}
+
+_TRACES: dict[str, Callable] = {
+    "azure": lambda model, duration, seed: azure_trace(
+        peak_rps=model.peak_rps, duration=duration, seed=seed
+    ),
+    "wiki": lambda model, duration, seed: wiki_trace(
+        peak_rps=170.0, duration=duration, day_seconds=max(duration / 2, 60.0),
+        seed=seed,
+    ),
+    "twitter": lambda model, duration, seed: twitter_trace(
+        mean_rps=5.0 * model.peak_rps / 12.2, duration=duration, seed=seed
+    ),
+    "poisson": lambda model, duration, seed: poisson_trace(
+        rate_rps=model.peak_rps, duration=duration, seed=seed
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Paldia (IPDPS 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profiles", help="print catalog + profiled rows")
+    p.add_argument("model", nargs="?", default="resnet50")
+
+    for name in ("run", "compare"):
+        p = sub.add_parser(name, help=f"{name} scheme(s) on one workload")
+        p.add_argument("model")
+        p.add_argument("--scheme", default="paldia",
+                       choices=list(SCHEMES) + ["oracle"])
+        p.add_argument("--trace", default="azure", choices=sorted(_TRACES))
+        p.add_argument("--duration", type=float, default=300.0)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p.add_argument("experiment_id", choices=sorted(_EXPERIMENTS) + ["ablations"])
+    p.add_argument("--duration", type=float, default=300.0)
+    p.add_argument("--repetitions", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="show models, schemes, traces, experiments")
+    return parser
+
+
+def _cmd_profiles(args) -> int:
+    print(table2.run(profile_model=args.model).rendered())
+    return 0
+
+
+def _run_one(scheme: str, model, trace, profiles, slo):
+    policy = make_policy(scheme, model, profiles, slo.target_seconds, trace)
+    return ServerlessRun(model, trace, policy, profiles, slo).execute()
+
+
+def _cmd_run(args) -> int:
+    model = get_model(args.model)
+    profiles = ProfileService()
+    slo = SLO()
+    trace = _TRACES[args.trace](model, args.duration, args.seed)
+    result = _run_one(args.scheme, model, trace, profiles, slo)
+    print(
+        render_kv(
+            {
+                "scheme": scheme_label(args.scheme),
+                "model": model.display_name,
+                "trace": f"{args.trace} ({trace.n_requests} requests, "
+                f"peak {trace.peak_rps:.0f} rps)",
+                "SLO compliance": f"{100 * result.slo_compliance:.2f}%",
+                "P99": f"{result.p99_seconds * 1e3:.1f} ms",
+                "cost": f"${result.total_cost:.4f}",
+                "switches": result.n_switches,
+                "cold starts": result.cold_starts,
+            },
+            title="run result",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    model = get_model(args.model)
+    profiles = ProfileService()
+    slo = SLO()
+    trace = _TRACES[args.trace](model, args.duration, args.seed)
+    rows = []
+    for scheme in list(SCHEMES) + ["oracle"]:
+        r = _run_one(scheme, model, trace, profiles, slo)
+        rows.append(
+            [
+                scheme_label(scheme),
+                round(100 * r.slo_compliance, 2),
+                round(r.p99_seconds * 1e3, 1),
+                round(r.total_cost, 4),
+                r.n_switches,
+            ]
+        )
+    print(
+        render_table(
+            ["scheme", "slo_%", "p99_ms", "cost_$", "switches"],
+            rows,
+            title=f"{model.display_name} on {args.trace} "
+            f"({args.duration:.0f}s, seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.experiment_id == "ablations":
+        for report in ablations.run(duration=args.duration):
+            print(report.rendered())
+            print()
+        return 0
+    print(_EXPERIMENTS[args.experiment_id](args).rendered())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("models:")
+    for m in ALL_MODELS:
+        print(f"  {m.name:20s} {m.domain:8s} peak {m.peak_rps:.0f} rps")
+    print("\nschemes:", ", ".join(list(SCHEMES) + ["oracle"]))
+    print("traces:", ", ".join(sorted(_TRACES)))
+    print("experiments:", ", ".join(sorted(_EXPERIMENTS) + ["ablations"]))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "profiles": _cmd_profiles,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+        "list": _cmd_list,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Contention-aware Paldia: the paper's stated future work.
+
+Table III shows every cost-effective scheme losing up to ~10 points when
+'regular' CPU-bound serverless functions share the hosts, and the paper
+closes: "PALDIA's performance can likely be improved by incorporating the
+interference effects of co-resident CPU-bound workloads into our existing
+performance model (which currently only accounts for GPU workload
+interference). We leave this for future work."
+
+:class:`ContentionAwarePaldiaPolicy` implements that extension.  The
+framework reports the serving node's observed host-contention factor every
+monitoring interval; the policy keeps per-node-kind EWMA estimates (CPU
+hosts feel co-location directly, GPU hosts only through the feeding path)
+and inflates the solo latencies that Algorithm 1 and the Equation-(1)
+split plan with.  Under co-location this makes the selector (a) demand
+correspondingly more headroom before trusting a CPU node and (b) queue
+less aggressively on a contended device.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.paldia import PaldiaPolicy
+from repro.core.predictor import RatePredictor
+from repro.hardware.catalog import HardwareSpec
+from repro.hardware.profiles import ProfileService
+from repro.workloads.models import ModelSpec
+
+__all__ = ["ContentionAwarePaldiaPolicy"]
+
+#: How much weaker host co-location hits a GPU node than a CPU node (the
+#: device does the math; only the feeding path contends).  Matches the
+#: sensitivity ratio of the SeBS injector.
+_GPU_TO_CPU_SENSITIVITY = 1.0 / 7.0
+
+
+class ContentionAwarePaldiaPolicy(PaldiaPolicy):
+    """Paldia with host-contention feedback in its performance model.
+
+    Parameters
+    ----------
+    contention_alpha:
+        EWMA weight for the per-kind contention estimates.
+    """
+
+    name = "paldia_contention_aware"
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        profiles: ProfileService,
+        slo_seconds: float,
+        predictor: Optional[RatePredictor] = None,
+        contention_alpha: float = 0.3,
+        **kwargs,
+    ) -> None:
+        super().__init__(model, profiles, slo_seconds, predictor=predictor, **kwargs)
+        if not 0 < contention_alpha <= 1:
+            raise ValueError("contention_alpha must be in (0, 1]")
+        self.contention_alpha = float(contention_alpha)
+        #: EWMA contention estimates per node kind (>= 1).
+        self._factor = {"cpu": 1.0, "gpu": 1.0}
+        self.selector.contention_for = self.contention_for
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def observe_contention(self, factor: float, hw: HardwareSpec) -> None:
+        """Feed the observed service inflation of the current node.
+
+        The observation updates the node's own kind directly and the other
+        kind through the sensitivity ratio — co-located host load hits any
+        node the framework might switch to, just with different strength.
+        """
+        factor = max(1.0, float(factor))
+        a = self.contention_alpha
+        kind = "gpu" if hw.is_gpu else "cpu"
+        self._factor[kind] = a * factor + (1 - a) * self._factor[kind]
+        excess = factor - 1.0
+        if hw.is_gpu:
+            implied_cpu = 1.0 + excess / _GPU_TO_CPU_SENSITIVITY
+            self._factor["cpu"] = a * implied_cpu + (1 - a) * self._factor["cpu"]
+        else:
+            implied_gpu = 1.0 + excess * _GPU_TO_CPU_SENSITIVITY
+            self._factor["gpu"] = a * implied_gpu + (1 - a) * self._factor["gpu"]
+
+    def contention_for(self, hw: HardwareSpec) -> float:
+        """Current contention estimate for a candidate node."""
+        return self._factor["gpu" if hw.is_gpu else "cpu"]
+
+    # ------------------------------------------------------------------
+    # Model hooks
+    # ------------------------------------------------------------------
+    def _effective_solo(self, hw: HardwareSpec, batch: int) -> float:
+        return super()._effective_solo(hw, batch) * self.contention_for(hw)

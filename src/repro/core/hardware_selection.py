@@ -1,0 +1,283 @@
+"""Algorithm 1: Paldia's Hardware Selection module.
+
+Every monitoring interval the selector:
+
+1. predicts the near-future request rate (EWMA over observed window rates,
+   ~4 s lookahead so hardware can be acquired in time),
+2. builds the candidate pool — configurations whose profiled capacity can
+   serve the predicted rate (cheap CPU nodes qualify at low rates, GPU
+   generations at high rates),
+3. estimates each candidate's best achievable worst-case latency: Equation
+   (1)'s minimum over ``y`` for GPUs (the vectorised sweep of
+   :func:`repro.core.model.optimal_split`), the lane model for CPUs,
+4. picks the cheapest candidate within ``perf_slack`` (~50 ms) of the most
+   performant one,
+5. applies hysteresis: only after ``wait_limit`` (3) consecutive intervals
+   disagreeing with the current hardware does it request a reconfiguration
+   — a single off-trend interval should not churn nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.model import SplitDecision, cpu_t_max, optimal_split
+from repro.core.predictor import RatePredictor
+from repro.hardware.catalog import HardwareSpec
+from repro.hardware.profiles import ProfileService
+from repro.workloads.models import ModelSpec
+
+__all__ = ["CandidateEvaluation", "SelectionOutcome", "HardwareSelector"]
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One row of Algorithm 1's ``HW_dict``: a candidate's best latency."""
+
+    hw: HardwareSpec
+    least_t_max: float
+    best_y: Optional[int]
+    cost: float
+
+
+@dataclass
+class SelectionOutcome:
+    """Result of one monitoring tick."""
+
+    chosen: HardwareSpec
+    evaluations: list[CandidateEvaluation]
+    switch_requested: bool
+    predicted_rps: float
+
+
+class HardwareSelector:
+    """Stateful Algorithm 1 executor (one per model being served).
+
+    Parameters
+    ----------
+    model / profiles:
+        Workload and the profiling database.
+    predictor:
+        Rate predictor (EWMA, or the Oracle's clairvoyant one).
+    slo_seconds:
+        The request SLO.
+    lookahead_seconds:
+        How far ahead hardware must be capable (~4 s: procurement time).
+    plan_horizon_seconds:
+        The window of requests Equation (1) is solved over (``N = rate *
+        horizon``).
+    perf_slack_seconds:
+        ``choose_best_HW``'s cost/performance window (~50 ms).
+    wait_limit:
+        Consecutive mismatching intervals before an *escalating* switch
+        (3, per Algorithm 1).
+    wait_limit_down:
+        Consecutive mismatching intervals before a *de-escalating* switch.
+        De-escalation is deliberately damped (default 20): giving up a
+        faster node costs SLO compliance when the dip is noise or a ramp
+        plateau, while holding it a few extra seconds costs fractions of a
+        cent.
+    latency_budget_fraction:
+        Fraction of the SLO that T_max may consume (the rest absorbs
+        batching wait, dispatch, and prediction error).
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        profiles: ProfileService,
+        predictor: RatePredictor,
+        slo_seconds: float,
+        lookahead_seconds: float = 4.0,
+        plan_horizon_seconds: float = 0.1,
+        perf_slack_seconds: float = 0.050,
+        wait_limit: int = 3,
+        wait_limit_down: int = 20,
+        latency_budget_fraction: float = 0.85,
+        is_available: Optional[Callable[[HardwareSpec], bool]] = None,
+    ) -> None:
+        self.model = model
+        self.profiles = profiles
+        self.predictor = predictor
+        self.slo_seconds = float(slo_seconds)
+        self.lookahead_seconds = float(lookahead_seconds)
+        self.plan_horizon_seconds = float(plan_horizon_seconds)
+        self.perf_slack_seconds = float(perf_slack_seconds)
+        self.wait_limit = int(wait_limit)
+        self.wait_limit_down = int(wait_limit_down)
+        self.latency_budget_fraction = float(latency_budget_fraction)
+        self.is_available = is_available or (lambda hw: True)
+        #: Host-contention inflation per candidate (>= 1).  The default —
+        #: no inflation — is the paper's model; the contention-aware
+        #: extension (its stated future work) plugs in live estimates.
+        self.contention_for: Callable[[HardwareSpec], float] = lambda hw: 1.0
+        self._wait_ctr = 0
+        self.switches_requested = 0
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation (the par_for body of Algorithm 1)
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, hw: HardwareSpec, n_future: int, existing_fbr: float = 0.0
+    ) -> CandidateEvaluation:
+        """Best achievable worst-case latency of ``hw`` for ``n_future``
+        requests (Algorithm 1 steps c/d)."""
+        budget = self.slo_seconds * self.latency_budget_fraction
+        batch = self.profiles.best_batch(self.model, hw, self.slo_seconds)
+        if batch == 0:
+            return CandidateEvaluation(
+                hw=hw, least_t_max=float("inf"), best_y=None,
+                cost=hw.price_per_hour,
+            )
+        solo = self.profiles.solo_time(self.model, hw, batch) * max(
+            1.0, self.contention_for(hw)
+        )
+        if not hw.is_gpu:
+            t = cpu_t_max(
+                n_future, batch, solo, hw.cpu_lanes,
+                horizon=self.plan_horizon_seconds,
+            )
+            return CandidateEvaluation(
+                hw=hw, least_t_max=t, best_y=None, cost=hw.price_per_hour
+            )
+        decision = optimal_split(
+            n=n_future,
+            batch_size=batch,
+            solo=solo,
+            fbr=self.profiles.fbr(self.model, hw),
+            slo_seconds=budget,
+            interference=self.profiles.interference,
+            existing_fbr=existing_fbr,
+            max_coresident=self.profiles.max_coresident(self.model, hw),
+            solo_single=self.profiles.solo_time(self.model, hw, 1),
+        )
+        return CandidateEvaluation(
+            hw=hw,
+            least_t_max=decision.t_max,
+            best_y=decision.y,
+            cost=hw.price_per_hour,
+        )
+
+    # ------------------------------------------------------------------
+    # choose_best_HW (Algorithm 1 step e)
+    # ------------------------------------------------------------------
+    def choose_best(
+        self, evaluations: list[CandidateEvaluation]
+    ) -> HardwareSpec:
+        """Cheapest candidate within ``perf_slack`` of the most performant.
+
+        Candidates violating the SLO budget are only chosen when *nothing*
+        fits, in which case the fastest option wins (graceful degradation —
+        the Fig 13a regime)."""
+        if not evaluations:
+            raise ValueError("no candidates to choose from")
+        budget = self.slo_seconds * self.latency_budget_fraction
+        best_t = min(e.least_t_max for e in evaluations)
+        fitting = [e for e in evaluations if e.least_t_max <= budget]
+        if not fitting:
+            return min(
+                evaluations, key=lambda e: (e.least_t_max, e.cost)
+            ).hw
+        # "Within ~50 ms of the most performant" (the paper's rule), but
+        # when every candidate sits far inside the budget the comparison
+        # degenerates (at light load T_max values are all tiny and the
+        # fastest GPU always "wins" by more than the slack); any node with
+        # comfortable margin is equally good, so cost decides.
+        threshold = max(
+            best_t + self.perf_slack_seconds, 0.8 * budget
+        )
+        window = [e for e in fitting if e.least_t_max <= threshold]
+        pool = window or fitting
+        return min(pool, key=lambda e: (e.cost, e.least_t_max)).hw
+
+    # ------------------------------------------------------------------
+    # One monitoring tick (the outer loop of Algorithm 1)
+    # ------------------------------------------------------------------
+    def tick(
+        self,
+        now: float,
+        current_hw: Optional[HardwareSpec],
+        existing_fbr: float = 0.0,
+        backlog: int = 0,
+    ) -> SelectionOutcome:
+        """Run one Hardware_Selection pass; applies hysteresis.
+
+        ``backlog`` is the current software-queue depth (Algorithm 1 reads
+        ``curr_request_queue`` before predicting): hardware must be able to
+        drain what has already accumulated *and* what is coming.
+        ``switch_requested`` is only True after ``wait_limit`` consecutive
+        mismatches (the paper's ``wait_ctr``)."""
+        rate = self.predictor.predict(now, self.lookahead_seconds)
+        n_future = max(1, math.ceil(rate * self.plan_horizon_seconds) + max(0, backlog))
+        effective_rate = rate + max(0, backlog) / max(
+            self.lookahead_seconds, 1e-9
+        )
+        pool = [
+            hw
+            for hw in self.profiles.get_hw_pool(
+                self.model, effective_rate, self.slo_seconds
+            )
+            if self.is_available(hw)
+        ]
+        if not pool:
+            pool = [hw for hw in self.profiles.catalog.by_cost() if self.is_available(hw)]
+        if not pool:
+            raise RuntimeError("no available hardware in the catalog")
+        if current_hw is not None and all(
+            hw.name != current_hw.name for hw in pool
+        ):
+            # Keep the incumbent in the comparison: its (in)feasibility is
+            # what emergency escalation is judged against.
+            pool.append(current_hw)
+        evaluations = [
+            self.evaluate(
+                hw,
+                n_future,
+                # Residency only burdens the node that actually holds it: a
+                # candidate we would switch to starts empty.
+                existing_fbr=existing_fbr
+                if current_hw is not None and hw.name == current_hw.name
+                else 0.0,
+            )
+            for hw in pool
+        ]
+        chosen = self.choose_best(evaluations)
+
+        switch = False
+        if current_hw is None or chosen.name != current_hw.name:
+            self._wait_ctr += 1
+            escalating = (
+                current_hw is None or chosen.perf_rank < current_hw.perf_rank
+            )
+            # Emergency: the node we are on cannot meet the SLO for the
+            # predicted load.  The wait_ctr exists to damp cost-driven
+            # churn, not to sit through an active violation risk.
+            budget = self.slo_seconds * self.latency_budget_fraction
+            current_eval = next(
+                (
+                    e
+                    for e in evaluations
+                    if current_hw is not None and e.hw.name == current_hw.name
+                ),
+                None,
+            )
+            emergency = (
+                escalating
+                and current_eval is not None
+                and current_eval.least_t_max > budget
+            )
+            limit = self.wait_limit if escalating else self.wait_limit_down
+            if current_hw is None or emergency or self._wait_ctr >= limit:
+                switch = True
+                self._wait_ctr = 0
+                self.switches_requested += 1
+        else:
+            self._wait_ctr = 0
+        return SelectionOutcome(
+            chosen=chosen,
+            evaluations=evaluations,
+            switch_requested=switch,
+            predicted_rps=rate,
+        )

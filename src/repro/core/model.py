@@ -1,0 +1,243 @@
+"""Equation (1): the interference/queueing trade-off model and y-solver.
+
+Section III of the paper models the worst-case completion time of ``N``
+outstanding requests when ``y`` of them are queued (time-shared) and the
+remaining ``N - y`` are co-located on the GPU via MPS:
+
+    T_max(y) = Solo * (y / BS)                       # queued, serial
+             + Solo * slowdown(((N - y)/BS) * FBR)   # co-located via MPS
+
+with the paper's constraints ``y < N`` (can't queue more than exist) and
+``((N - y)/BS) * FBR > 1`` (enough co-location for the interference term to
+be valid — i.e. the device is actually bandwidth-saturated).  The paper's
+linear form is ``slowdown(s) = s``; we evaluate the *profiled* interference
+curve (see :mod:`repro.simulator.interference`), which reduces to the
+paper's model when its exponent is 1 and the demand is past the knee.
+
+Extensions needed for an online system (and used by our Hardware Selection):
+
+* an ``existing_fbr`` term folds in work already resident on the device;
+* a memory bound caps how many batches can co-reside at all;
+* the sweep over candidate ``y`` values (the paper probes them with
+  multiple threads, <3 ms) is evaluated as one vectorised NumPy expression.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.simulator.interference import DEFAULT_INTERFERENCE, InterferenceModel
+
+__all__ = ["SplitDecision", "optimal_split", "t_max_curve", "cpu_t_max"]
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """Outcome of the Equation-(1) solve for one (hardware, window).
+
+    Attributes
+    ----------
+    y:
+        Requests to queue (time share); ``n - y`` go spatial.
+    t_max:
+        Predicted worst-case completion time at this ``y`` (seconds).
+    feasible:
+        Whether ``t_max`` fits the SLO budget handed to the solver.
+    n:
+        Total requests considered.
+    batch_size:
+        Batch size used for both phases.
+    n_spatial_batches:
+        Co-located batch count implied by the split.
+    """
+
+    y: int
+    t_max: float
+    feasible: bool
+    n: int
+    batch_size: int
+
+    @property
+    def n_spatial(self) -> int:
+        return self.n - self.y
+
+    @property
+    def n_spatial_batches(self) -> int:
+        return math.ceil(self.n_spatial / self.batch_size) if self.n_spatial else 0
+
+    @property
+    def n_temporal_batches(self) -> int:
+        return math.ceil(self.y / self.batch_size) if self.y else 0
+
+
+def t_max_curve(
+    y: np.ndarray,
+    n: int,
+    batch_size: int,
+    solo: float,
+    fbr: float,
+    interference: InterferenceModel = DEFAULT_INTERFERENCE,
+    existing_fbr: float = 0.0,
+    existing_queue: int = 0,
+    solo_single: float = 0.0,
+) -> np.ndarray:
+    """Vectorised T_max over candidate ``y`` values.
+
+    The queued term uses the paper's proportional-fraction approximation
+    (``Solo * y / BS``), extended with the ``existing_queue`` requests
+    already waiting in the device FIFO — queueing more work behind a
+    backlog is not free, and ignoring it makes full-temporal splits look
+    deceptively cheap near saturation.  The spatial term inflates one
+    batch's solo time by the profiled slowdown at the aggregate demand the
+    split would create, including ``existing_fbr`` already resident.
+    """
+    if n < 0 or batch_size < 1 or solo <= 0 or fbr < 0:
+        raise ValueError("invalid model parameters")
+    if existing_queue < 0:
+        raise ValueError("existing_queue cannot be negative")
+    y_arr = np.asarray(y, dtype=np.float64)
+    n_spatial = n - y_arr
+    k = np.ceil(n_spatial / batch_size)  # co-located batches
+    # Aggregate demand uses the paper's continuous form
+    # ((N - y)/BS) * FBR: partial batches demand proportionally less
+    # bandwidth, so the expression needs no per-batch rounding.
+    total_fbr = existing_fbr + (n_spatial / batch_size) * fbr
+    # The paper's proportional-fraction approximation on both phases,
+    # floored by the single-request execution time: a partial batch still
+    # pays the fixed per-batch overhead (solo_single), so requests can
+    # never "cost" less than one real execution.
+    queued = np.where(
+        y_arr > 0,
+        np.maximum(solo_single, solo * ((existing_queue + y_arr) / batch_size)),
+        0.0,
+    )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        batch_frac = np.where(k > 0, n_spatial / (k * batch_size), 0.0)
+    spatial_base = np.maximum(solo_single, solo * batch_frac)
+    spatial = np.where(
+        k > 0,
+        spatial_base * interference.slowdown_array(total_fbr),
+        0.0,
+    )
+    return queued + spatial
+
+
+def optimal_split(
+    n: int,
+    batch_size: int,
+    solo: float,
+    fbr: float,
+    slo_seconds: float,
+    interference: InterferenceModel = DEFAULT_INTERFERENCE,
+    existing_fbr: float = 0.0,
+    existing_queue: int = 0,
+    max_coresident: Optional[int] = None,
+    max_total_fbr: Optional[float] = None,
+    solo_single: float = 0.0,
+    y_step: int = 1,
+) -> SplitDecision:
+    """Solve Equation (1): the ``y`` minimising predicted T_max.
+
+    Parameters
+    ----------
+    n:
+        Outstanding requests for the model right now (the paper's ``N_M``).
+    batch_size:
+        Current flexible batch size (``BS_M``).
+    solo:
+        Profiled isolated batch latency on the target GPU (``Solo_M``).
+    fbr:
+        Profiled per-batch FBR on the target GPU (``FBR_M``).
+    slo_seconds:
+        Remaining latency budget; feasibility is judged against it.
+    existing_fbr:
+        Aggregate FBR already executing on the device (our online
+        extension; 0 reproduces the paper's formula exactly).
+    existing_queue:
+        Requests already waiting in the device's temporal FIFO; queued
+        requests of this window finish behind them.
+    max_coresident:
+        Memory bound on co-located batches; ``y`` values implying more are
+        excluded from the optimal range.
+    max_total_fbr:
+        Occupancy cap on the aggregate (existing + planned) bandwidth
+        demand; Paldia uses ~2x the interference knee.
+    y_step:
+        Evaluate every ``y_step``-th candidate (ablation knob; the paper
+        probes the full range in parallel threads).
+
+    Returns
+    -------
+    SplitDecision
+        With ``feasible=False`` when no candidate fits the SLO — the
+        caller (Hardware Selection) should then try the next more
+        performant GPU rather than rate-limit (Section III).
+    """
+    if n <= 0:
+        return SplitDecision(y=0, t_max=0.0, feasible=True, n=0, batch_size=batch_size)
+    # The sweep includes y = n ("queue everything"): the paper's constraint
+    # y < N merely marks where the interference term is meaningful, but an
+    # online scheduler must be able to fall back to pure time sharing —
+    # e.g. one straggler window on a device already saturated by residents.
+    y = np.arange(0, n + 1, max(1, int(y_step)), dtype=np.int64)
+    if y[-1] != n:
+        y = np.append(y, n)
+    t = t_max_curve(
+        y, n, batch_size, solo, fbr, interference,
+        existing_fbr=existing_fbr, existing_queue=existing_queue,
+        solo_single=solo_single,
+    )
+    k = np.ceil((n - y) / batch_size)
+    if max_coresident is not None:
+        t = np.where(k <= max_coresident, t, np.inf)
+    if max_total_fbr is not None:
+        # Occupancy cap: never *plan* co-location past this aggregate
+        # demand — past the knee, more residents shrink throughput, and a
+        # transient stack-up can spiral (each admission slows every other
+        # resident).  y = n (fully temporal, k = 0) always satisfies it.
+        t = np.where(existing_fbr + k * fbr <= max_total_fbr, t, np.inf)
+    i = int(np.argmin(t))
+    t_best = float(t[i])
+    if not np.isfinite(t_best):
+        # Even full queueing violates memory?  (cannot happen: y=n-1 leaves
+        # one request; guard for degenerate max_coresident=0.)
+        return SplitDecision(
+            y=n - 1, t_max=float("inf"), feasible=False, n=n, batch_size=batch_size
+        )
+    return SplitDecision(
+        y=int(y[i]),
+        t_max=t_best,
+        feasible=t_best <= slo_seconds,
+        n=n,
+        batch_size=batch_size,
+    )
+
+
+def cpu_t_max(
+    n: int,
+    batch_size: int,
+    solo: float,
+    lanes: int,
+    horizon: float = 0.0,
+) -> float:
+    """Algorithm 1's ``approx_T_max`` for CPU nodes.
+
+    Batches execute serially per lane.  When the ``n`` requests arrive as a
+    burst (``horizon = 0``) the worst one waits for every stage of its lane;
+    when they arrive spread over ``horizon`` seconds, the lanes drain while
+    arrivals trickle in, and the worst request only sees the residual
+    backlog: ``solo + max(0, total_work / lanes - horizon)``.
+    """
+    if n <= 0:
+        return 0.0
+    if batch_size < 1 or solo <= 0 or lanes < 1:
+        raise ValueError("invalid CPU model parameters")
+    if horizon < 0:
+        raise ValueError("horizon cannot be negative")
+    batches = math.ceil(n / batch_size)
+    total_work = batches * solo
+    return solo + max(0.0, total_work / lanes - horizon)

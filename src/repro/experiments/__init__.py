@@ -1,0 +1,35 @@
+"""Experiments: one module per paper figure/table, plus ablations.
+
+Every module exposes ``run(...) -> ExperimentReport`` (Fig 1's and the
+ablations' signatures differ slightly); the benchmark harness under
+``benchmarks/`` invokes these and prints the regenerated rows next to the
+paper's published values.
+"""
+
+from repro.experiments import (
+    ablations,
+    sweeps,
+    fig01,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09_10,
+    fig11,
+    fig12,
+    fig13,
+    table2,
+    table3,
+)
+from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.runner import CellSpec, MatrixResult, run_cell, run_matrix
+from repro.experiments.schemes import SCHEMES, make_policy
+
+__all__ = [
+    "CellSpec", "ExperimentReport", "MatrixResult", "PAPER_CLAIMS",
+    "SCHEMES", "ablations", "fig01", "fig03", "fig04", "fig05", "fig06",
+    "fig07", "fig08", "fig09_10", "fig11", "fig12", "fig13", "make_policy",
+    "run_cell", "run_matrix", "sweeps", "table2", "table3",
+]

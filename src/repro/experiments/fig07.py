@@ -1,0 +1,86 @@
+"""Fig 7: (a) goodput under request surges, (b) normalized power.
+
+(a) DenseNet 121 goodput over the busiest window of the Azure trace:
+INFless/Llama($) and Molecule($) serve only ~27%/~34% of the incoming rate
+within the SLO; Paldia is within ~5% of ideal.
+(b) Simplified DLA: Paldia draws ~45% less average power than the (P)
+schemes and at most ~4% more than the cost-effective ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.stats import mean_without_outliers, normalize
+from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.runner import run_matrix
+from repro.experiments.schemes import SCHEMES
+from repro.experiments.trace_factories import azure_factory
+from repro.workloads.models import get_model
+from repro.workloads.traces import azure_trace
+
+__all__ = ["run", "GOODPUT_MODEL", "POWER_MODEL"]
+
+GOODPUT_MODEL = "densenet121"
+POWER_MODEL = "simplified_dla"
+
+
+def run(
+    duration: float = 600.0,
+    repetitions: int = 2,
+    parallel: Optional[bool] = None,
+    seed0: int = 1,
+) -> ExperimentReport:
+    """Regenerate Fig 7 (goodput at the peak window + normalized power)."""
+    factory = azure_factory(duration)
+    matrix = run_matrix(
+        schemes=SCHEMES,
+        model_names=[GOODPUT_MODEL, POWER_MODEL],
+        trace_factory=factory,
+        repetitions=repetitions,
+        parallel=parallel,
+        seed0=seed0,
+        keep_metrics=True,
+    )
+    rows = []
+    # --- (a) goodput over the busiest 60 s window -----------------------
+    model = get_model(GOODPUT_MODEL)
+    for scheme in SCHEMES:
+        goodputs, offered = [], []
+        for r in matrix.cell_runs(scheme, GOODPUT_MODEL):
+            trace = factory(model, r.metrics and _seed_of(r, seed0) or seed0)
+            window = trace.peak_window(60.0)
+            goodputs.append(r.metrics.goodput(0.200, window))
+            offered.append(trace.rate_window(*window))
+        g = mean_without_outliers(goodputs)
+        o = mean_without_outliers(offered)
+        rows.append(
+            ["goodput", scheme, GOODPUT_MODEL, round(g, 1), round(o, 1),
+             round(g / o, 3) if o else 0.0]
+        )
+    # --- (b) normalized power -------------------------------------------
+    watts = {
+        scheme: matrix.summary(scheme, POWER_MODEL).avg_watts
+        for scheme in SCHEMES
+    }
+    norm = dict(zip(watts, normalize(list(watts.values()), "max")))
+    for scheme in SCHEMES:
+        rows.append(
+            ["power", scheme, POWER_MODEL, round(watts[scheme], 1), "-",
+             round(norm[scheme], 3)]
+        )
+    return ExperimentReport(
+        experiment_id="fig7",
+        title="Goodput during surges (rps) and normalized power (W)",
+        headers=["metric", "scheme", "model", "value", "offered_rps", "fraction"],
+        rows=rows,
+        paper_reference=PAPER_CLAIMS["fig7"],
+    )
+
+
+def _seed_of(result, seed0: int) -> int:
+    # Repetition seeds are seed0..seed0+reps-1; reconstructing the exact
+    # seed per run is not tracked on RunResult, so the first repetition's
+    # trace is used for the offered-rate denominator (rate curves differ
+    # only by sampling noise across repetitions).
+    return seed0

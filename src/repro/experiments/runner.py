@@ -1,0 +1,158 @@
+"""Experiment orchestration: run (scheme x model x repetition) matrices.
+
+Each cell is an independent :class:`~repro.framework.system.ServerlessRun`;
+cells fan out over a process pool (seeded per cell, so results are
+reproducible regardless of scheduling order), following the hpc-parallel
+guides' pattern for embarrassingly parallel sweeps.  Repetitions are
+averaged with the paper's 2.5-sigma outlier rule.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.stats import RunSummary, summarize_runs
+from repro.experiments.schemes import make_policy
+from repro.framework.slo import SLO
+from repro.framework.system import RunConfig, RunResult, ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.workloads.models import ModelSpec, get_model
+from repro.workloads.traces import Trace
+
+__all__ = ["CellSpec", "MatrixResult", "run_cell", "run_matrix"]
+
+#: The paper repeats every trace-driven experiment 5 times; benchmarks can
+#: dial this down for wall-clock economy.
+DEFAULT_REPETITIONS = 3
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (scheme, model, repetition) cell of an experiment matrix.
+
+    ``trace_factory`` builds the arrival trace from the repetition seed, so
+    repetitions see different arrival randomness (as rerunning a testbed
+    experiment would) while schemes within a repetition share the exact
+    same trace.
+    """
+
+    scheme: str
+    model_name: str
+    seed: int
+    trace_factory: Callable[[ModelSpec, int], Trace]
+    slo_seconds: float = 0.200
+    config: RunConfig = field(default_factory=RunConfig)
+    keep_metrics: bool = False
+    #: Restrict the hardware catalog to these node names (e.g. the Fig 13a
+    #: exhaustion study pins every scheme to the V100).
+    catalog_names: Optional[tuple[str, ...]] = None
+
+
+def run_cell(spec: CellSpec) -> RunResult:
+    """Execute one cell (used directly and as the process-pool task)."""
+    model = get_model(spec.model_name)
+    trace = spec.trace_factory(model, spec.seed)
+    if spec.catalog_names is not None:
+        from repro.hardware.catalog import default_catalog
+
+        profiles = ProfileService(
+            default_catalog().restricted(spec.catalog_names)
+        )
+    else:
+        profiles = ProfileService()
+    policy = make_policy(
+        spec.scheme, model, profiles, spec.slo_seconds, trace=trace
+    )
+    config = replace(spec.config, seed=spec.seed)
+    result = ServerlessRun(
+        model,
+        trace,
+        policy,
+        profiles,
+        SLO(spec.slo_seconds),
+        config,
+    ).execute()
+    if not spec.keep_metrics:
+        result.metrics = None  # type: ignore[assignment]
+    return result
+
+
+@dataclass
+class MatrixResult:
+    """All cells of an experiment, with per-(scheme, model) summaries."""
+
+    results: list[RunResult]
+
+    def cell_runs(self, scheme: str, model: str) -> list[RunResult]:
+        return [
+            r for r in self.results if r.scheme == scheme and r.model == model
+        ]
+
+    def summary(self, scheme: str, model: str) -> RunSummary:
+        runs = self.cell_runs(scheme, model)
+        if not runs:
+            raise KeyError(f"no runs for ({scheme}, {model})")
+        return summarize_runs(runs)
+
+    def schemes(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.results:
+            seen.setdefault(r.scheme, None)
+        return list(seen)
+
+    def models(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.results:
+            seen.setdefault(r.model, None)
+        return list(seen)
+
+
+def run_matrix(
+    schemes: Sequence[str],
+    model_names: Sequence[str],
+    trace_factory: Callable[[ModelSpec, int], Trace],
+    repetitions: int = DEFAULT_REPETITIONS,
+    slo_seconds: float = 0.200,
+    config: Optional[RunConfig] = None,
+    seed0: int = 1,
+    parallel: Optional[bool] = None,
+    keep_metrics: bool = False,
+    catalog_names: Optional[tuple[str, ...]] = None,
+) -> MatrixResult:
+    """Run the full (scheme x model x repetition) matrix.
+
+    Parameters
+    ----------
+    parallel:
+        Fan cells out over a process pool.  Default: parallel when the
+        matrix has more than 4 cells and more than 2 CPUs are available.
+    """
+    base_config = config if config is not None else RunConfig()
+    cells = [
+        CellSpec(
+            scheme=scheme,
+            model_name=model,
+            seed=seed0 + rep,
+            trace_factory=trace_factory,
+            slo_seconds=slo_seconds,
+            config=base_config,
+            keep_metrics=keep_metrics,
+            catalog_names=catalog_names,
+        )
+        for model in model_names
+        for scheme in schemes
+        for rep in range(repetitions)
+    ]
+    n_cpus = os.cpu_count() or 1
+    if parallel is None:
+        parallel = len(cells) > 4 and n_cpus > 2
+    if parallel:
+        workers = max(2, min(n_cpus - 1, len(cells)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(run_cell, cells, chunksize=1))
+    else:
+        results = [run_cell(c) for c in cells]
+    return MatrixResult(results=results)

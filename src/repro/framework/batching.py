@@ -1,0 +1,113 @@
+"""Request batching (Section IV-B).
+
+Requests are batch-served for throughput.  The batcher groups a trace's
+arrivals into dispatch windows: a window closes every ``window_seconds`` (or
+immediately once ``max_batch`` requests have accumulated), and everything in
+it is handed to the policy as one set of ``N`` outstanding requests.  The
+policy then carves the set into flexible-size sub-batches per its
+spatial/temporal split — uniform batching would hinder the hybrid split
+(Section IV-B), so sub-batch sizing is the policy's call, not the batcher's.
+
+Grouping is precomputed from the arrival array with ``np.searchsorted``
+(vectorised, no per-request Python work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["DispatchWindow", "window_groups", "carve_sizes"]
+
+
+@dataclass(frozen=True)
+class DispatchWindow:
+    """One batching window's worth of requests.
+
+    Attributes
+    ----------
+    dispatch_at:
+        Time the window closes and its requests are released.
+    arrivals:
+        Arrival timestamps of the requests in the window (sorted).
+    """
+
+    dispatch_at: float
+    arrivals: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.arrivals.size)
+
+
+def window_groups(
+    arrivals: np.ndarray,
+    window_seconds: float,
+    max_batch: int | None = None,
+) -> list[DispatchWindow]:
+    """Group sorted arrivals into dispatch windows.
+
+    Windows are aligned to multiples of ``window_seconds``; a window closing
+    with more than ``max_batch`` requests is split into full-batch chunks
+    that dispatch at the moment the chunk filled (early dispatch on full
+    batch, as real batchers do).
+    """
+    if window_seconds <= 0:
+        raise ValueError("window must be positive")
+    arr = np.asarray(arrivals, dtype=np.float64)
+    if arr.size == 0:
+        return []
+    edges = np.arange(
+        0.0, float(arr[-1]) + window_seconds, window_seconds
+    )[1:]
+    idx = np.searchsorted(arr, edges, side="left")
+    out: list[DispatchWindow] = []
+    start = 0
+    for edge, end in zip(edges, idx):
+        if end > start:
+            chunk = arr[start:end]
+            if max_batch is not None and chunk.size > max_batch:
+                # Full batches dispatch as soon as they fill.
+                n_full = chunk.size // max_batch
+                for i in range(n_full):
+                    sub = chunk[i * max_batch : (i + 1) * max_batch]
+                    out.append(
+                        DispatchWindow(dispatch_at=float(sub[-1]), arrivals=sub)
+                    )
+                rest = chunk[n_full * max_batch :]
+                if rest.size:
+                    out.append(DispatchWindow(dispatch_at=float(edge), arrivals=rest))
+            else:
+                out.append(DispatchWindow(dispatch_at=float(edge), arrivals=chunk))
+            start = end
+    if start < arr.size:
+        tail = arr[start:]
+        out.append(
+            DispatchWindow(
+                dispatch_at=float(edges[-1] + window_seconds)
+                if edges.size
+                else window_seconds,
+                arrivals=tail,
+            )
+        )
+    out.sort(key=lambda w: w.dispatch_at)
+    return out
+
+
+def carve_sizes(n: int, batch_size: int) -> list[int]:
+    """Split ``n`` requests into sub-batches of at most ``batch_size``.
+
+    The remainder rides in the last (smaller) batch — flexible batch sizes
+    per Section IV-B.
+    """
+    if n < 0 or batch_size < 1:
+        raise ValueError("invalid carve parameters")
+    if n == 0:
+        return []
+    full, rem = divmod(n, batch_size)
+    sizes = [batch_size] * full
+    if rem:
+        sizes.append(rem)
+    return sizes

@@ -1,0 +1,66 @@
+"""Service-level objective definitions.
+
+The paper sets one response-time SLO for every workload (200 ms, following
+INFless).  We keep the SLO a first-class object so experiments can vary it
+(the sensitivity ablations sweep it) and so compliance accounting lives in
+one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SLO", "DEFAULT_SLO_SECONDS"]
+
+#: The paper's SLO for all inference requests (Section V): 200 ms.
+DEFAULT_SLO_SECONDS = 0.200
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A response-time service level objective.
+
+    Attributes
+    ----------
+    target_seconds:
+        End-to-end latency deadline for every request.
+    compliance_goal:
+        The fraction of requests that should meet the deadline for the
+        deployment to count as "highly SLO compliant" (the paper uses
+        >= 99%).
+    """
+
+    target_seconds: float = DEFAULT_SLO_SECONDS
+    compliance_goal: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.target_seconds <= 0:
+            raise ValueError("SLO target must be positive")
+        if not 0 < self.compliance_goal <= 1:
+            raise ValueError("compliance goal must be in (0, 1]")
+
+    @property
+    def target_ms(self) -> float:
+        """The deadline in milliseconds."""
+        return self.target_seconds * 1e3
+
+    def met(self, latencies: np.ndarray) -> np.ndarray:
+        """Boolean mask of which latencies (seconds) meet the deadline."""
+        return np.asarray(latencies) <= self.target_seconds
+
+    def compliance(self, latencies: np.ndarray) -> float:
+        """Fraction of requests meeting the deadline.
+
+        Returns 1.0 for an empty latency set (no requests -> vacuously
+        compliant), mirroring how the evaluation scripts treat idle windows.
+        """
+        lat = np.asarray(latencies)
+        if lat.size == 0:
+            return 1.0
+        return float(np.count_nonzero(lat <= self.target_seconds) / lat.size)
+
+    def scaled(self, factor: float) -> "SLO":
+        """A new SLO with the deadline scaled by ``factor`` (for sweeps)."""
+        return SLO(self.target_seconds * factor, self.compliance_goal)

@@ -1,0 +1,686 @@
+"""The serverless framework: gateway, dispatcher, and run orchestration.
+
+:class:`ServerlessRun` is Figure 2 in executable form.  It wires one
+workload + trace + policy into the simulated cluster:
+
+* the **gateway/batcher** groups trace arrivals into dispatch windows
+  (Section IV-B);
+* the **dispatcher** routes each window to the node chosen by the policy's
+  hardware selection, after the policy's Job Distribution carved it into
+  spatial/temporal sub-batches (Sections IV-A/IV-D);
+* the **autoscaler** manages container pools around the dispatches
+  (Section IV-C);
+* a **monitor loop** samples request rates, feeds the policy's predictor,
+  and executes background hardware reconfigurations (Algorithm 1's
+  ``reconfigure_HW``: the new node is procured and pre-warmed while the old
+  one keeps serving, then traffic is rerouted and the old lease released);
+* optional **failure injection** and **SeBS co-location** reproduce the
+  sensitivity studies.
+
+Every scheme runs through this same machinery; only the policy differs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import Policy, WindowPlan
+from repro.core.autoscaler import Autoscaler, containers_for_split
+from repro.framework.batching import DispatchWindow, window_groups
+from repro.core.predictor import EWMAPredictor, RateTracker
+from repro.framework.request import Batch, ShareMode
+from repro.framework.slo import SLO
+from repro.hardware.catalog import HardwareCatalog, HardwareSpec, default_catalog
+from repro.hardware.profiles import ProfileService
+from repro.simulator.cluster import Cluster, NodeInstance
+from repro.simulator.containers import AcquireTicket
+from repro.simulator.engine import Simulator
+from repro.simulator.failures import FailureInjector, FailureSchedule
+from repro.simulator.job import Job
+from repro.simulator.metrics import MetricsCollector
+from repro.simulator.power import cluster_energy_joules, node_energy_joules
+from repro.workloads.models import ModelSpec
+from repro.workloads.sebs import SebsColocator
+from repro.workloads.traces import Trace
+
+__all__ = ["RunConfig", "RunResult", "ServerlessRun"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Framework knobs (paper defaults).
+
+    Attributes
+    ----------
+    batch_window_seconds:
+        Gateway batching window.
+    monitor_interval_seconds:
+        Hardware-selection / rate-sampling cadence (Algorithm 1's ``W``).
+    autoscale_interval_seconds:
+        Predictive-scaling cadence (~10 s).
+    keep_alive_seconds:
+        Delayed-termination window (~10 min).
+    drain_grace_seconds:
+        Extra simulated time after the trace ends so in-flight work can
+        finish.
+    warm_start:
+        Start with the policy's initial node leased and containers warm.
+    failure_schedule:
+        Optional node-outage pattern (Fig 13b).
+    sebs_colocation:
+        Inject SeBS background CPU load (Table III).
+    sebs_invocation_rps:
+        Aggregate rate of the co-located functions.
+    """
+
+    batch_window_seconds: float = 0.075
+    monitor_interval_seconds: float = 0.5
+    autoscale_interval_seconds: float = 10.0
+    keep_alive_seconds: float = 600.0
+    drain_grace_seconds: float = 30.0
+    warm_start: bool = True
+    failure_schedule: Optional[FailureSchedule] = None
+    sebs_colocation: bool = False
+    sebs_invocation_rps: float = 4.0
+    seed: int = 0
+
+
+@dataclass
+class RunResult:
+    """Everything the analysis layer needs from one (scheme, model) run."""
+
+    scheme: str
+    model: str
+    slo_seconds: float
+    duration: float
+    offered_requests: int
+    completed_requests: int
+    unserved_requests: int
+    slo_compliance: float
+    p50_seconds: float
+    p99_seconds: float
+    total_cost: float
+    cost_by_spec: dict[str, float]
+    time_by_spec: dict[str, float]
+    energy_joules: float
+    avg_watts: float
+    utilization_by_spec: dict[str, float]
+    tail_breakdown: dict[str, float]
+    mode_split: dict[str, int]
+    hardware_usage: dict[str, int]
+    n_switches: int
+    cold_starts: int
+    #: (time, from_node, to_node) per completed traffic reroute.
+    switch_log: list[tuple[float, str, str]] = field(default_factory=list)
+    metrics: MetricsCollector = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def cost_per_hour(self) -> float:
+        return self.total_cost / (self.duration / 3600.0) if self.duration else 0.0
+
+
+class ServerlessRun:
+    """One scheme serving one workload over one trace.
+
+    Parameters
+    ----------
+    model / trace / policy:
+        The workload, its arrival trace, and the scheduling policy.
+    profiles:
+        Profiling database (also fixes the catalog and interference).
+    slo:
+        The request SLO.
+    config:
+        Framework knobs.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        trace: Trace,
+        policy: Policy,
+        profiles: Optional[ProfileService] = None,
+        slo: Optional[SLO] = None,
+        config: Optional[RunConfig] = None,
+        sim: Optional[Simulator] = None,
+        cluster: Optional[Cluster] = None,
+    ) -> None:
+        self.model = model
+        self.trace = trace
+        self.policy = policy
+        self.profiles = profiles if profiles is not None else ProfileService()
+        self.slo = slo if slo is not None else SLO()
+        self.config = config if config is not None else RunConfig()
+
+        # A multi-model deployment (see MultiModelRun) passes a shared
+        # simulator and cluster so every function's lane lives on one
+        # clock and one bill.
+        self.sim = sim if sim is not None else Simulator()
+        self.cluster = cluster if cluster is not None else Cluster(
+            self.sim,
+            self.profiles.catalog,
+            interference=self.profiles.interference,
+            seed=self.config.seed,
+        )
+        self.metrics = MetricsCollector()
+        self.tracker = RateTracker(self.config.monitor_interval_seconds)
+        self.autoscaler = Autoscaler(
+            model=model,
+            profiles=self.profiles,
+            predictor=getattr(policy, "predictor", EWMAPredictor()),
+            slo_seconds=self.slo.target_seconds,
+            keep_alive_seconds=self.config.keep_alive_seconds,
+            interval_seconds=self.config.autoscale_interval_seconds,
+        )
+
+        self._current: Optional[NodeInstance] = None
+        self._draining: list[NodeInstance] = []
+        self._reconfig_target: Optional[HardwareSpec] = None
+        self._reconfig_gen = 0
+        self._failed_specs: set[str] = set()
+        self._pending_windows: list[DispatchWindow] = []
+        self.n_switches = 0
+        self.switch_log: list[tuple[float, str, str]] = []
+        #: node_ids this run leased (in a shared cluster, the lane's own
+        #: share of the bill).
+        self._owned_node_ids: set[int] = set()
+        self._sebs: Optional[SebsColocator] = None
+        self._failure_injector: Optional[FailureInjector] = None
+        self._executed = False
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def execute(self) -> RunResult:
+        """Run the whole trace and return the result summary."""
+        if self._executed:
+            raise RuntimeError("a ServerlessRun can only execute once")
+        self._executed = True
+        self._setup()
+        horizon = self.trace.duration + self.config.drain_grace_seconds
+        self.sim.run(until=horizon)
+        return self._finalize()
+
+    # Split entry points for shared-simulator (multi-model) deployments:
+    # arm() schedules everything, finalize() summarises after the caller
+    # has driven the shared clock.
+    def arm(self) -> None:
+        """Schedule this lane's events on the (possibly shared) simulator
+        without running it."""
+        if self._executed:
+            raise RuntimeError("a ServerlessRun can only execute once")
+        self._executed = True
+        self._setup()
+
+    def finalize(self) -> RunResult:
+        """Summarise after the shared simulator has been driven."""
+        return self._finalize()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _setup(self) -> None:
+        cfg = self.config
+        # Initial hardware, warm-started.
+        hint = max(self.trace.rate_window(0.0, 10.0), 1.0)
+        initial_hw = self.policy.initial_hardware(hint)
+        node = self.cluster.acquire(initial_hw, lambda n: None, instant=True)
+        self._owned_node_ids.add(node.node_id)
+        self._current = node
+        self.switch_log.append((0.0, "-", initial_hw.name))
+        if cfg.warm_start:
+            batch = self.policy.batch_size_on(initial_hw)
+            n_warm = containers_for_split(
+                math.ceil(hint), batch, has_temporal=True
+            )
+            node.pool(self.model.name).add_warm(n_warm)
+
+        # Dispatch windows from the trace.  Full batches dispatch at the
+        # moment they fill (streaming batcher).  The chunk is the largest
+        # flexible batch any GPU in the catalog would use: a window only
+        # dispatches early once a full batch of that size accumulated, so
+        # smaller-batch hardware still receives its own carve at plan time.
+        gpu_batches = [
+            self.profiles.best_batch(self.model, hw, self.slo.target_seconds)
+            for hw in self.profiles.catalog.gpus()
+        ]
+        chunk = max([b for b in gpu_batches if b > 0], default=self.model.max_batch)
+        for window in window_groups(
+            self.trace.arrivals, cfg.batch_window_seconds, max(1, chunk)
+        ):
+            self.sim.schedule_at(
+                window.dispatch_at,
+                lambda w=window: self._on_window(w),
+                priority=10,
+            )
+
+        # Monitor + autoscale loops.
+        self.sim.schedule(cfg.monitor_interval_seconds, self._monitor_tick, priority=20)
+        self.sim.schedule(
+            cfg.autoscale_interval_seconds, self._autoscale_tick, priority=20
+        )
+
+        # Optional sensitivity-study machinery.
+        if cfg.failure_schedule is not None:
+            self._failure_injector = FailureInjector(
+                self.sim,
+                cfg.failure_schedule,
+                on_fail=self._on_node_failure,
+                on_recover=self._on_node_recovery,
+                horizon=self.trace.duration,
+            )
+            self._failure_injector.start()
+        if cfg.sebs_colocation:
+            self._sebs = SebsColocator(
+                self.sim,
+                rng_seed=cfg.seed + 7,
+                invocation_rps=cfg.sebs_invocation_rps,
+            )
+            self._sebs.attach(self._current)
+            self._sebs.start()
+
+    # ------------------------------------------------------------------
+    # Dispatch path
+    # ------------------------------------------------------------------
+    def _on_window(self, window: DispatchWindow) -> None:
+        self.metrics.record_offered(window.n)
+        self.tracker.count(window.n)
+        if self._current is None or not self._current.available:
+            self._pending_windows.append(window)
+            return
+        self._dispatch(window, self._current)
+
+    def _existing_fbr(self, node: NodeInstance) -> float:
+        device = node.device
+        return getattr(device, "total_fbr", 0.0)
+
+    def _backlog(self, node: NodeInstance) -> int:
+        """Requests queued at the node (device queues + container waits)."""
+        backlog = node.device.queued_requests()
+        pool = node.pool(self.model.name)
+        # Waiting dispatches hold whole batches; approximate with the
+        # current flexible batch size.
+        backlog += pool.n_waiting * max(1, self.policy.batch_size_on(node.spec))
+        return backlog
+
+    def _dispatch(self, window: DispatchWindow, node: NodeInstance) -> None:
+        now = self.sim.now
+        plan = self.policy.plan_window(
+            window.n,
+            node.spec,
+            self._existing_fbr(node),
+            now,
+            existing_queue=node.device.queued_requests(),
+        )
+        pool = node.pool(self.model.name)
+        # Reactive scale-up: one container per spatial batch (+1 temporal).
+        self.autoscaler.reactive(
+            pool,
+            containers_for_split(
+                plan.n - plan.y,
+                max(1, self.policy.batch_size_on(node.spec)),
+                has_temporal=plan.has_temporal,
+            ),
+        )
+        offset = 0
+        for planned in plan.batches:
+            arrivals = window.arrivals[offset : offset + planned.size]
+            offset += planned.size
+            batch = Batch(
+                model=self.model,
+                arrivals=arrivals,
+                dispatched_at=now,
+                mode=planned.mode,
+            )
+            batch.breakdown.batching_wait = max(0.0, now - batch.first_arrival)
+            self._acquire_and_submit(batch, node)
+        if offset != window.n:  # pragma: no cover - plan invariant
+            raise RuntimeError(
+                f"plan covered {offset} of {window.n} window requests"
+            )
+
+    def _acquire_and_submit(self, batch: Batch, node: NodeInstance) -> None:
+        pool = node.pool(self.model.name)
+
+        def on_container(ticket: AcquireTicket) -> None:
+            if ticket.cold:
+                batch.breakdown.cold_start_wait += ticket.wait
+            elif batch.mode == ShareMode.SPATIAL:
+                # A spatially-shared batch only waits for a container when
+                # co-location pressure has every container pinned to a
+                # slowed-down resident — consolidation-induced waiting is
+                # interference (the paper's Fig 4 accounting).
+                batch.breakdown.interference_extra += ticket.wait
+            else:
+                batch.breakdown.queue_delay += ticket.wait
+            if not node.available:
+                # The node failed while we waited; requeue the requests.
+                self._pending_windows.append(
+                    DispatchWindow(dispatch_at=self.sim.now, arrivals=batch.arrivals)
+                )
+                return
+            self._submit(batch, node, pool)
+
+        pool.request(on_container)
+
+    def _submit(self, batch: Batch, node: NodeInstance, pool) -> None:
+        spec = node.spec
+        solo = self.profiles.solo_time(self.model, spec, batch.size)
+        fbr = self.profiles.fbr(self.model, spec) if spec.is_gpu else 0.0
+        mem = self.model.mem_gb_per_batch * (batch.size / self.model.max_batch)
+
+        def on_complete(job: Job) -> None:
+            pool.release()
+            self.metrics.record_batch(batch)
+
+        def on_evict(job: Job) -> None:
+            pool.release()
+
+        node.device.submit(
+            Job(
+                batch=batch,
+                solo_time=solo,
+                fbr=fbr,
+                mem_gb=mem,
+                mode=batch.mode,
+                on_complete=on_complete,
+                on_evict=on_evict,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Monitoring / reconfiguration
+    # ------------------------------------------------------------------
+    def _monitor_tick(self) -> None:
+        now = self.sim.now
+        rate = self.tracker.sample(now)
+        self.policy.observe_rate(rate, now)
+        if self._current is not None and hasattr(self.policy, "observe_contention"):
+            self.policy.observe_contention(
+                self._current.device.contention_factor, self._current.spec
+            )
+        self._release_drained()
+        if self._current is not None and self._current.available:
+            # While a reconfiguration is in flight the in-flight target is
+            # what the policy's choice is compared against, so a surge that
+            # outgrows the node being procured re-targets immediately
+            # instead of waiting for the obsolete switch to complete.
+            reference = (
+                self._reconfig_target
+                if self._reconfig_target is not None
+                else self._current.spec
+            )
+            desired = self.policy.desired_hardware(
+                now,
+                reference,
+                self._existing_fbr(self._current),
+                backlog_requests=self._backlog(self._current),
+                is_available=self._is_available,
+            )
+            if desired is not None and desired.name != reference.name:
+                # Failure coping (Fig 13b): while an induced outage is
+                # active, every scheme is modified to hold "the more
+                # performant hardware with the least cost" — policy-driven
+                # de-escalation resumes only after recovery.
+                deescalating = (
+                    desired.perf_rank > self._current.spec.perf_rank
+                )
+                if not (self._failed_specs and deescalating):
+                    self._reconfigure(desired)
+        if now < self.trace.duration + self.config.drain_grace_seconds:
+            self.sim.schedule(
+                self.config.monitor_interval_seconds, self._monitor_tick, priority=20
+            )
+
+    def _is_available(self, hw: HardwareSpec) -> bool:
+        return hw.name not in self._failed_specs
+
+    def _reconfigure(self, desired: HardwareSpec) -> None:
+        """Background hardware switch (Algorithm 1's ``reconfigure_HW``).
+
+        Re-targetable: a newer reconfiguration supersedes one still in
+        flight; the superseded node is released the moment it comes up."""
+        self._reconfig_gen += 1
+        gen = self._reconfig_gen
+        self._reconfig_target = desired
+        self.n_switches += 1
+        instant = self.policy.instant_switch
+
+        def on_ready(node: NodeInstance) -> None:
+            if gen != self._reconfig_gen:
+                self.cluster.release(node)  # superseded mid-provisioning
+                return
+            # Pre-warm containers before rerouting traffic.
+            batch = self.policy.batch_size_on(node.spec)
+            rate = self.tracker.current_rate
+            n_warm = containers_for_split(
+                max(1, math.ceil(rate)), max(1, batch), has_temporal=True
+            )
+            pool = node.pool(self.model.name)
+            if instant:
+                pool.add_warm(n_warm)
+                self._switch_to(node)
+            else:
+                pool.ensure(n_warm)
+                # Escalations start draining the old node's backlog on the
+                # new (faster) node right away — the queue waits for warm
+                # containers either way, and the new device drains it far
+                # faster than the node we are escalating away from.
+                if (
+                    self._current is not None
+                    and node.spec.perf_rank < self._current.spec.perf_rank
+                ):
+                    self._migrate_queue(self._current, node)
+                self.sim.schedule(
+                    node.spec.cold_start_seconds,
+                    lambda: self._switch_to(node)
+                    if gen == self._reconfig_gen
+                    else self.cluster.release(node),
+                )
+
+        node = self.cluster.acquire(desired, on_ready, instant=instant)
+        self._owned_node_ids.add(node.node_id)
+
+    def _switch_to(self, node: NodeInstance) -> None:
+        old = self._current
+        self._current = node
+        self._reconfig_target = None
+        self.switch_log.append(
+            (self.sim.now, old.spec.name if old else "-", node.spec.name)
+        )
+        if self._sebs is not None:
+            self._sebs.attach(node)
+        if old is not None and old.available:
+            # Escalation: pull the software queue onto the faster node (it
+            # drains much quicker there).  De-escalation: leave the queue to
+            # drain on the old (faster) node — dragging it onto cheaper
+            # hardware would strand it.
+            if node.spec.perf_rank < old.spec.perf_rank:
+                self._migrate_queue(old, node)
+            if old.device.idle:
+                self.cluster.release(old)
+            else:
+                self._draining.append(old)
+        self._flush_pending(node)
+
+    def _migrate_queue(self, old: NodeInstance, node: NodeInstance) -> None:
+        """Move not-yet-started jobs from ``old``'s device to ``node``."""
+        for job in old.device.evict_queued():
+            job.batch.breakdown.queue_delay += self.sim.now - job.submitted_at
+            if job.on_evict is not None:
+                job.on_evict(job)
+            self._acquire_and_submit(job.batch, node)
+
+    def _release_drained(self) -> None:
+        still = []
+        for node in self._draining:
+            pools_quiet = all(
+                p.n_waiting == 0 and p.n_busy == 0
+                for p in node.pools().values()
+            )
+            if (node.device.idle and pools_quiet) or not node.available:
+                if node.node_id in self.cluster._active_leases:
+                    self.cluster.release(node)
+            else:
+                still.append(node)
+        self._draining = still
+
+    def _flush_pending(self, node: NodeInstance) -> None:
+        pending, self._pending_windows = self._pending_windows, []
+        for window in pending:
+            self._dispatch(window, node)
+
+    # ------------------------------------------------------------------
+    # Autoscaling loop
+    # ------------------------------------------------------------------
+    def _autoscale_tick(self) -> None:
+        if self._current is not None and self._current.available:
+            self.autoscaler.tick(
+                self._current.pool(self.model.name),
+                self._current.spec,
+                self.sim.now,
+            )
+        if self.sim.now < self.trace.duration:
+            self.sim.schedule(
+                self.config.autoscale_interval_seconds,
+                self._autoscale_tick,
+                priority=20,
+            )
+
+    # ------------------------------------------------------------------
+    # Failure handling (Fig 13b)
+    # ------------------------------------------------------------------
+    def _failover_choice(self, failed: HardwareSpec) -> HardwareSpec:
+        """'Switch to the more performant hardware with the least cost'; if
+        the failed node was the most performant, the next best GPU."""
+        avail = [hw for hw in self.profiles.catalog if self._is_available(hw)]
+        if not avail:
+            raise RuntimeError("every node type is down")
+        better = [hw for hw in avail if hw.perf_rank < failed.perf_rank]
+        if better:
+            return min(better, key=lambda h: h.price_per_hour)
+        return min(avail, key=lambda h: h.perf_rank)
+
+    def _on_node_failure(self) -> None:
+        node = self._current
+        if node is None:
+            return
+        self._failed_specs.add(node.spec.name)
+        evicted = node.fail()
+        if node.node_id in self.cluster._active_leases:
+            self.cluster.release(node)
+        self._current = None
+        self._reconfig_target = None
+        self._reconfig_gen += 1  # cancel any in-flight reconfiguration
+        # Evicted requests go back into the pending queue, arrivals intact.
+        arrivals = [j.batch.arrivals for j in evicted]
+        if arrivals:
+            merged = np.sort(np.concatenate(arrivals))
+            self._pending_windows.append(
+                DispatchWindow(dispatch_at=self.sim.now, arrivals=merged)
+            )
+        failover = self._failover_choice(node.spec)
+
+        def on_ready(new_node: NodeInstance) -> None:
+            batch = self.policy.batch_size_on(new_node.spec)
+            new_node.pool(self.model.name).ensure(
+                containers_for_split(
+                    max(1, math.ceil(self.tracker.current_rate)),
+                    max(1, batch),
+                    has_temporal=True,
+                )
+            )
+            self.sim.schedule(
+                new_node.spec.cold_start_seconds,
+                lambda: self._switch_to(new_node),
+            )
+
+        node = self.cluster.acquire(failover, on_ready)
+        self._owned_node_ids.add(node.node_id)
+
+    def _on_node_recovery(self) -> None:
+        self._failed_specs.clear()
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _finalize(self) -> RunResult:
+        # Anything not completed counts against compliance.
+        completed = self.metrics.completed_requests()
+        offered = self.metrics.total_requests_offered
+        self.metrics.record_unserved(max(0, offered - completed))
+
+        duration = self.trace.duration
+        horizon = self.sim.now
+        now = self.sim.now
+
+        # In a shared cluster (MultiModelRun) this lane only bills for the
+        # nodes it leased; standalone runs own everything.
+        owned = [
+            (node, lease)
+            for node, lease in zip(self.cluster.nodes, self.cluster.leases)
+            if node.node_id in self._owned_node_ids
+        ]
+        cost = sum(lease.cost(now) for _, lease in owned)
+        energy = sum(
+            node_energy_joules(node, lease.duration(now))
+            for node, lease in owned
+        )
+        cost_by_spec: dict[str, float] = {}
+        time_by_spec: dict[str, float] = {}
+        for _, lease in owned:
+            cost_by_spec[lease.spec.name] = (
+                cost_by_spec.get(lease.spec.name, 0.0) + lease.cost(now)
+            )
+            time_by_spec[lease.spec.name] = (
+                time_by_spec.get(lease.spec.name, 0.0) + lease.duration(now)
+            )
+
+        util: dict[str, list[float]] = {}
+        for node, lease in owned:
+            dur = lease.duration(now)
+            if dur <= 0:
+                continue
+            busy = node.device.busy_seconds
+            if getattr(node.device, "_busy_since", None) is not None:
+                busy += now - node.device._busy_since
+            util.setdefault(lease.spec.name, []).append(min(1.0, busy / dur))
+        utilization = {
+            name: float(np.mean(vals)) for name, vals in util.items()
+        }
+
+        cold = sum(
+            pool.cold_starts
+            for node, _ in owned
+            for pool in node.pools().values()
+        )
+        slo_s = self.slo.target_seconds
+        return RunResult(
+            scheme=self.policy.name,
+            model=self.model.name,
+            slo_seconds=slo_s,
+            duration=duration,
+            offered_requests=offered,
+            completed_requests=completed,
+            unserved_requests=max(0, offered - completed),
+            slo_compliance=self.metrics.slo_compliance(slo_s),
+            p50_seconds=self.metrics.percentile_latency(50.0),
+            p99_seconds=self.metrics.percentile_latency(99.0),
+            total_cost=cost,
+            cost_by_spec=cost_by_spec,
+            time_by_spec=time_by_spec,
+            energy_joules=energy,
+            avg_watts=energy / horizon if horizon > 0 else 0.0,
+            utilization_by_spec=utilization,
+            tail_breakdown=self.metrics.tail_breakdown(),
+            mode_split=self.metrics.mode_split(),
+            hardware_usage=self.metrics.hardware_usage(),
+            n_switches=self.n_switches,
+            cold_starts=cold,
+            switch_log=list(self.switch_log),
+            metrics=self.metrics,
+        )

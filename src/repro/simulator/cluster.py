@@ -1,0 +1,200 @@
+"""Cluster: node instances, acquisition/release, cost accounting.
+
+The paper's testbed is a 6-worker heterogeneous cluster with one node of
+each Table II shape; a scheme leases one node at a time (two briefly, while
+reconfiguring in the background) and its dollar cost is the lease-time
+weighted sum of node prices (Section V).  This module provides:
+
+* :class:`NodeInstance` — a leased node: device (GPU or CPU), per-model
+  container pools, availability flag (failure injection).
+* :class:`Cluster` — acquires/releases nodes with provisioning delay and
+  meters cost per hardware type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.hardware.catalog import HardwareCatalog, HardwareSpec
+from repro.simulator.containers import ContainerPool
+from repro.simulator.cpu import CPUDevice
+from repro.simulator.engine import Simulator
+from repro.simulator.gpu import GPUDevice
+from repro.simulator.interference import DEFAULT_INTERFERENCE, InterferenceModel
+
+__all__ = ["NodeInstance", "Cluster", "LeaseRecord"]
+
+Device = Union[GPUDevice, CPUDevice]
+
+
+@dataclass
+class LeaseRecord:
+    """One node lease interval, for cost/power accounting."""
+
+    spec: HardwareSpec
+    start: float
+    end: Optional[float] = None
+
+    def duration(self, now: float) -> float:
+        return (self.end if self.end is not None else now) - self.start
+
+    def cost(self, now: float) -> float:
+        return self.duration(now) * self.spec.price_per_second
+
+
+class NodeInstance:
+    """A leased worker node: compute device plus container pools.
+
+    Container pools are keyed by model name (containers hold model
+    weights).  The node exposes the union of the device and pool interfaces
+    the framework needs, plus busy-time so power/utilization reports can be
+    produced per node.
+    """
+
+    _ids = 0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: HardwareSpec,
+        interference: InterferenceModel,
+        rng: np.random.Generator,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        NodeInstance._ids += 1
+        self.node_id = NodeInstance._ids
+        if spec.is_gpu:
+            self.device: Device = GPUDevice(sim, spec, interference, rng)
+        else:
+            self.device = CPUDevice(sim, spec, rng)
+        self._pools: dict[str, ContainerPool] = {}
+        self.available = True
+
+    def pool(self, model_name: str) -> ContainerPool:
+        """The container pool for ``model_name`` (created on first use)."""
+        try:
+            return self._pools[model_name]
+        except KeyError:
+            pool = ContainerPool(self.sim, self.spec.cold_start_seconds)
+            self._pools[model_name] = pool
+            return pool
+
+    def pools(self) -> dict[str, ContainerPool]:
+        return dict(self._pools)
+
+    def fail(self) -> list:
+        """Mark unavailable and evict all in-flight work (returns jobs)."""
+        self.available = False
+        evicted = self.device.evict_all()
+        for pool in self._pools.values():
+            pool.terminate_all()
+        return evicted
+
+    def recover(self) -> None:
+        self.available = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeInstance({self.spec.name}#{self.node_id})"
+
+
+class Cluster:
+    """The heterogeneous cluster a scheme leases nodes from.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    catalog:
+        Available hardware shapes (one leasable node per shape, like the
+        paper's cluster).
+    interference:
+        Ground-truth MPS interference physics, shared by all GPU nodes.
+    seed:
+        Seed for per-node execution noise streams.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        catalog: HardwareCatalog,
+        interference: InterferenceModel = DEFAULT_INTERFERENCE,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.catalog = catalog
+        self.interference = interference
+        self._root_rng = np.random.default_rng(seed)
+        self.leases: list[LeaseRecord] = []
+        self._active_leases: dict[int, LeaseRecord] = {}
+        self.nodes: list[NodeInstance] = []
+
+    # ------------------------------------------------------------------
+    # Acquisition / release
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        spec: HardwareSpec,
+        on_ready: Callable[[NodeInstance], None],
+        instant: bool = False,
+    ) -> NodeInstance:
+        """Lease a node of shape ``spec``.
+
+        Billing starts immediately (the VM is launching); ``on_ready`` fires
+        after the provisioning delay, when containers may be spawned.  With
+        ``instant=True`` provisioning is skipped (used for warm starts at
+        experiment begin, and by the clairvoyant Oracle).
+        """
+        node = NodeInstance(
+            self.sim,
+            spec,
+            self.interference,
+            np.random.default_rng(self._root_rng.integers(2**63)),
+        )
+        self.nodes.append(node)
+        lease = LeaseRecord(spec=spec, start=self.sim.now)
+        self.leases.append(lease)
+        self._active_leases[node.node_id] = lease
+        if instant or spec.provision_seconds <= 0:
+            on_ready(node)
+        else:
+            self.sim.schedule(spec.provision_seconds, lambda: on_ready(node))
+        return node
+
+    def release(self, node: NodeInstance) -> None:
+        """End the node's lease; billing stops now."""
+        lease = self._active_leases.pop(node.node_id, None)
+        if lease is None:
+            raise ValueError(f"{node!r} has no active lease")
+        lease.end = self.sim.now
+        for pool in node.pools().values():
+            pool.terminate_all()
+        node.available = False
+
+    # ------------------------------------------------------------------
+    # Cost accounting (Section V: lease-time weighted node prices)
+    # ------------------------------------------------------------------
+    def total_cost(self, now: Optional[float] = None) -> float:
+        """Dollar cost of all leases up to ``now`` (default: current time)."""
+        t = self.sim.now if now is None else now
+        return sum(lease.cost(t) for lease in self.leases)
+
+    def cost_by_spec(self, now: Optional[float] = None) -> dict[str, float]:
+        """Cost split per hardware type."""
+        t = self.sim.now if now is None else now
+        out: dict[str, float] = {}
+        for lease in self.leases:
+            out[lease.spec.name] = out.get(lease.spec.name, 0.0) + lease.cost(t)
+        return out
+
+    def time_by_spec(self, now: Optional[float] = None) -> dict[str, float]:
+        """Lease-seconds per hardware type (Fig 5's 'time spent using each
+        type of compute node')."""
+        t = self.sim.now if now is None else now
+        out: dict[str, float] = {}
+        for lease in self.leases:
+            out[lease.spec.name] = out.get(lease.spec.name, 0.0) + lease.duration(t)
+        return out

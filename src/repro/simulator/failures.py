@@ -1,0 +1,99 @@
+"""Node-failure injection (Fig 13b).
+
+The paper's failure study makes the in-use node unavailable for a full
+minute, once every other minute.  The injector fires on that cadence and
+calls back into the framework, which evicts in-flight work, switches to the
+failover hardware ("the more performant hardware with the least cost"), and
+re-dispatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.simulator.engine import Simulator
+
+__all__ = ["FailureSchedule", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """A periodic failure pattern.
+
+    Attributes
+    ----------
+    period_seconds:
+        Interval between failure onsets (the paper: every other minute, so
+        120 s between onsets of the 60 s outages).
+    downtime_seconds:
+        How long each outage lasts (60 s in the paper).
+    first_failure_at:
+        Offset of the first outage.
+    """
+
+    period_seconds: float = 120.0
+    downtime_seconds: float = 60.0
+    first_failure_at: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.downtime_seconds >= self.period_seconds:
+            raise ValueError("downtime must be shorter than the period")
+        if min(self.period_seconds, self.downtime_seconds) <= 0:
+            raise ValueError("schedule times must be positive")
+
+    def is_down(self, t: float) -> bool:
+        """Whether the injected failure is active at time ``t``."""
+        if t < self.first_failure_at:
+            return False
+        phase = (t - self.first_failure_at) % self.period_seconds
+        return phase < self.downtime_seconds
+
+
+class FailureInjector:
+    """Drives a :class:`FailureSchedule` on the simulator clock.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    schedule:
+        The outage pattern.
+    on_fail / on_recover:
+        Framework callbacks.  ``on_fail`` should evict and fail over;
+        ``on_recover`` may switch back.
+    horizon:
+        Stop injecting past this time (end of trace).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        schedule: FailureSchedule,
+        on_fail: Callable[[], None],
+        on_recover: Callable[[], None],
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.schedule = schedule
+        self.on_fail = on_fail
+        self.on_recover = on_recover
+        self.horizon = horizon
+        self.failures_injected = 0
+
+    def start(self) -> None:
+        """Arm the first outage."""
+        self.sim.schedule_at(self.schedule.first_failure_at, self._fail)
+
+    def _fail(self) -> None:
+        if self.horizon is not None and self.sim.now >= self.horizon:
+            return
+        self.failures_injected += 1
+        self.on_fail()
+        self.sim.schedule(self.schedule.downtime_seconds, self._recover)
+
+    def _recover(self) -> None:
+        self.on_recover()
+        next_onset = self.schedule.period_seconds - self.schedule.downtime_seconds
+        if self.horizon is None or self.sim.now + next_onset < self.horizon:
+            self.sim.schedule(next_onset, self._fail)

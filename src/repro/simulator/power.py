@@ -1,0 +1,64 @@
+"""Node power model (Fig 7b).
+
+The paper measures GPU power with nvtop and projects CPU power with
+powerstat; both reduce to an idle-plus-active linear model, which is what we
+integrate here:
+
+    energy(node) = idle_watts * lease_time + (peak - idle) * busy_time
+
+Reported numbers are normalized (the paper plots normalized power), so only
+the ratios between schemes matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.cluster import Cluster, NodeInstance
+
+__all__ = ["PowerReport", "node_energy_joules", "cluster_energy_joules"]
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Energy/power summary of one scheme's run."""
+
+    energy_joules: float
+    horizon_seconds: float
+
+    @property
+    def avg_watts(self) -> float:
+        """Average power draw over the run."""
+        return self.energy_joules / self.horizon_seconds if self.horizon_seconds else 0.0
+
+
+def node_energy_joules(node: NodeInstance, lease_seconds: float) -> float:
+    """Energy one node consumed over its lease.
+
+    ``busy_seconds`` is taken from the device's non-idle accounting; the
+    idle floor covers the whole lease.
+    """
+    spec = node.spec
+    busy = min(node.device.busy_seconds, lease_seconds)
+    return spec.idle_watts * lease_seconds + (spec.peak_watts - spec.idle_watts) * busy
+
+
+def cluster_energy_joules(cluster: Cluster) -> float:
+    """Total energy of every lease in the cluster (joules).
+
+    Leases and nodes are created pairwise by :meth:`Cluster.acquire`, so we
+    zip them positionally.
+    """
+    now = cluster.sim.now
+    total = 0.0
+    for node, lease in zip(cluster.nodes, cluster.leases):
+        total += node_energy_joules(node, lease.duration(now))
+    return total
+
+
+def power_report(cluster: Cluster, horizon_seconds: float) -> PowerReport:
+    """Average power over ``horizon_seconds`` for the whole run."""
+    return PowerReport(
+        energy_joules=cluster_energy_joules(cluster),
+        horizon_seconds=horizon_seconds,
+    )

@@ -1,0 +1,136 @@
+"""SeBS-style 'regular' serverless co-location (Table III).
+
+The paper's mixed-workload study co-locates CPU-bound serverless functions
+from the SeBS suite — file compression, dynamic HTML generation, image
+thumbnailing — with the inference containers.  The effect on inference is
+host-CPU contention: severe on CPU-only nodes (direct competition for the
+cores doing the inference) and mild on GPU nodes (the host side only feeds
+the device).
+
+We model the co-located functions as an on/off background load process whose
+instantaneous intensity maps to multiplicative service-time inflation, which
+the injector pushes into whichever node currently serves inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.simulator.cluster import NodeInstance
+from repro.simulator.engine import Simulator
+
+__all__ = ["SebsWorkload", "SEBS_WORKLOADS", "SebsColocator"]
+
+
+@dataclass(frozen=True)
+class SebsWorkload:
+    """One 'regular' serverless function class.
+
+    ``cpu_demand`` is the fraction of a host core one concurrent invocation
+    of the function keeps busy on average.
+    """
+
+    name: str
+    cpu_demand: float
+    mean_duration_s: float
+
+
+#: The three SeBS functions the paper co-locates (Section VI-B).
+SEBS_WORKLOADS: tuple[SebsWorkload, ...] = (
+    SebsWorkload("file_compression", cpu_demand=0.9, mean_duration_s=2.0),
+    SebsWorkload("dynamic_html", cpu_demand=0.4, mean_duration_s=0.3),
+    SebsWorkload("image_thumbnailing", cpu_demand=0.7, mean_duration_s=0.8),
+)
+
+
+class SebsColocator:
+    """Background CPU load injector.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    rng_seed:
+        Seed for the load process.
+    invocation_rps:
+        Aggregate invocation rate of the co-located functions.
+    update_seconds:
+        How often contention factors are resampled and pushed to the node.
+    cpu_sensitivity / gpu_sensitivity:
+        How strongly one core's worth of background demand inflates
+        inference service time on CPU / GPU nodes.  GPU nodes mostly feel
+        it through the host-side data path.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng_seed: int = 0,
+        invocation_rps: float = 4.0,
+        update_seconds: float = 2.0,
+        cpu_sensitivity: float = 0.35,
+        gpu_sensitivity: float = 0.05,
+        workloads: tuple[SebsWorkload, ...] = SEBS_WORKLOADS,
+    ) -> None:
+        self.sim = sim
+        self.rng = np.random.default_rng(rng_seed)
+        self.invocation_rps = float(invocation_rps)
+        self.update_seconds = float(update_seconds)
+        self.cpu_sensitivity = float(cpu_sensitivity)
+        self.gpu_sensitivity = float(gpu_sensitivity)
+        self.workloads = workloads
+        self._node: Optional[NodeInstance] = None
+        self._started = False
+        self.current_load_cores = 0.0
+
+    # ------------------------------------------------------------------
+    def attach(self, node: Optional[NodeInstance]) -> None:
+        """Point the injector at the node currently serving inference."""
+        # Clear contention on the node we are leaving.
+        if self._node is not None and self._node is not node:
+            self._node.device.contention_factor = 1.0
+        self._node = node
+        self._apply()
+
+    def start(self) -> None:
+        """Begin the periodic load-resample loop."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(0.0, self._tick)
+
+    # ------------------------------------------------------------------
+    def _sample_load_cores(self) -> float:
+        """Expected concurrent core demand of the background functions.
+
+        Little's law per function class: concurrency = rate * duration,
+        amplified by Poisson burstiness around the mean.
+        """
+        total = 0.0
+        per_class_rate = self.invocation_rps / len(self.workloads)
+        for w in self.workloads:
+            mean_conc = per_class_rate * w.mean_duration_s
+            conc = self.rng.poisson(mean_conc)
+            total += conc * w.cpu_demand
+        return total
+
+    def _factor_for(self, node: NodeInstance, load_cores: float) -> float:
+        spec = node.spec
+        # Demand is diluted across the host's vCPUs.
+        per_core = load_cores / max(1, spec.vcpus)
+        sens = self.gpu_sensitivity if spec.is_gpu else self.cpu_sensitivity
+        return 1.0 + sens * load_cores * (1.0 + per_core)
+
+    def _apply(self) -> None:
+        if self._node is None:
+            return
+        factor = self._factor_for(self._node, self.current_load_cores)
+        self._node.device.contention_factor = max(1.0, factor)
+
+    def _tick(self) -> None:
+        self.current_load_cores = self._sample_load_cores()
+        self._apply()
+        self.sim.schedule(self.update_seconds, self._tick)

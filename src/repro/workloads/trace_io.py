@@ -1,0 +1,111 @@
+"""Trace persistence: save/load arrival traces.
+
+Real deployments replay recorded traces (the paper replays Azure,
+Wikipedia and Twitter samples).  This module round-trips our
+:class:`~repro.workloads.traces.Trace` objects through two formats:
+
+* **CSV** — one arrival timestamp per line (the common public-trace
+  format; rate curves are re-estimated on load);
+* **NPZ** — lossless (arrivals + rate curve + metadata), for caching
+  generated traces between experiment runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.traces import Trace
+
+__all__ = [
+    "save_csv",
+    "load_csv",
+    "save_npz",
+    "load_npz",
+    "estimate_bin_rates",
+]
+
+PathLike = Union[str, Path]
+
+
+def estimate_bin_rates(
+    arrivals: np.ndarray, duration: float, bin_seconds: float = 1.0
+) -> np.ndarray:
+    """Histogram an arrival array into a per-bin offered-rate curve."""
+    if duration <= 0 or bin_seconds <= 0:
+        raise ValueError("duration and bin width must be positive")
+    n_bins = max(1, int(np.ceil(duration / bin_seconds)))
+    counts, _ = np.histogram(
+        arrivals, bins=n_bins, range=(0.0, n_bins * bin_seconds)
+    )
+    return counts.astype(np.float64) / bin_seconds
+
+
+def save_csv(trace: Trace, path: PathLike) -> None:
+    """Write one arrival timestamp per line (with a header)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["arrival_seconds"])
+        for t in trace.arrivals:
+            writer.writerow([f"{t:.6f}"])
+
+
+def load_csv(
+    path: PathLike,
+    name: str = "csv",
+    duration: float | None = None,
+    bin_seconds: float = 1.0,
+) -> Trace:
+    """Load a one-timestamp-per-line trace; rates are re-estimated.
+
+    ``duration`` defaults to the last arrival rounded up to a whole bin.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        rows = [row for row in reader if row]
+    values = []
+    for row in rows:
+        try:
+            values.append(float(row[0]))
+        except ValueError:
+            continue  # header or comment line
+    arrivals = np.sort(np.asarray(values, dtype=np.float64))
+    if duration is None:
+        last = float(arrivals[-1]) if arrivals.size else bin_seconds
+        duration = float(np.ceil(last / bin_seconds) * bin_seconds)
+    rates = estimate_bin_rates(arrivals, duration, bin_seconds)
+    return Trace(
+        name=name,
+        arrivals=arrivals,
+        duration=duration,
+        bin_rates=rates,
+        bin_seconds=bin_seconds,
+    )
+
+
+def save_npz(trace: Trace, path: PathLike) -> None:
+    """Lossless save (arrivals, rate curve, metadata)."""
+    np.savez_compressed(
+        path,
+        arrivals=trace.arrivals,
+        bin_rates=trace.bin_rates,
+        duration=np.array([trace.duration]),
+        bin_seconds=np.array([trace.bin_seconds]),
+        name=np.array([trace.name]),
+    )
+
+
+def load_npz(path: PathLike) -> Trace:
+    """Load a trace saved by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        return Trace(
+            name=str(data["name"][0]),
+            arrivals=data["arrivals"],
+            duration=float(data["duration"][0]),
+            bin_rates=data["bin_rates"],
+            bin_seconds=float(data["bin_seconds"][0]),
+        )

@@ -1,0 +1,25 @@
+"""Tests for tail-breakdown extraction."""
+
+import pytest
+
+from repro.analysis.breakdown import TailBreakdown
+
+
+class TestTailBreakdown:
+    def test_total_and_shares(self):
+        bd = TailBreakdown("m", "resnet50", min_possible_ms=100.0,
+                           queueing_ms=60.0, interference_ms=40.0)
+        assert bd.total_ms == pytest.approx(200.0)
+        assert bd.queueing_share == pytest.approx(0.3)
+        assert bd.interference_share == pytest.approx(0.2)
+
+    def test_zero_total_shares(self):
+        bd = TailBreakdown("m", "x", 0.0, 0.0, 0.0)
+        assert bd.queueing_share == 0.0
+        assert bd.interference_share == 0.0
+
+    def test_as_row(self):
+        bd = TailBreakdown("paldia", "vgg19", 100.0, 50.0, 25.0)
+        row = bd.as_row()
+        assert row[0] == "paldia"
+        assert row[-1] == pytest.approx(175.0)

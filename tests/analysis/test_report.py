@@ -1,0 +1,51 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.analysis.report import (
+    SCHEME_LABELS,
+    format_value,
+    render_kv,
+    render_table,
+    scheme_label,
+)
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [10, 20]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_title_prepended(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestFormatting:
+    def test_float_precision(self):
+        assert format_value(0.12345) == "0.1234" or format_value(0.12345) == "0.1235"
+        assert format_value(12.345) == "12.35"
+        assert format_value(12345.6) == "12,346"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_render_kv(self):
+        out = render_kv({"x": 1, "long_key": 2.5})
+        assert "x        : 1" in out
+
+    def test_scheme_labels_cover_evaluated_schemes(self):
+        for scheme in [
+            "paldia", "oracle", "infless_llama_$", "infless_llama_P",
+            "molecule_$", "molecule_P",
+        ]:
+            assert scheme in SCHEME_LABELS
+
+    def test_unknown_scheme_falls_back(self):
+        assert scheme_label("custom") == "custom"

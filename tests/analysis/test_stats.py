@@ -1,0 +1,83 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    cdf_points,
+    compliance_percent,
+    drop_outliers,
+    mean_without_outliers,
+    normalize,
+    percentile,
+)
+
+
+class TestOutliers:
+    def test_paper_sigma_rule_drops_extremes(self):
+        vals = [10.0] * 20 + [1000.0]
+        kept = drop_outliers(vals)
+        assert 1000.0 not in kept
+
+    def test_small_samples_untouched(self):
+        assert drop_outliers([1.0, 100.0]).tolist() == [1.0, 100.0]
+
+    def test_zero_variance_untouched(self):
+        assert drop_outliers([5.0] * 10).size == 10
+
+    def test_mean_without_outliers(self):
+        vals = [10.0] * 20 + [1000.0]
+        assert mean_without_outliers(vals) == pytest.approx(10.0)
+
+    def test_empty_mean_is_nan(self):
+        assert np.isnan(mean_without_outliers([]))
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=50))
+    def test_dropping_never_empties(self, vals):
+        assert drop_outliers(vals).size >= 1
+
+
+class TestMetrics:
+    def test_percentile(self):
+        lat = np.linspace(0, 1, 101)
+        assert percentile(lat, 99.0) == pytest.approx(0.99)
+
+    def test_percentile_empty(self):
+        assert percentile([], 99.0) == 0.0
+
+    def test_compliance_percent(self):
+        assert compliance_percent([0.1, 0.3], 0.2) == pytest.approx(50.0)
+
+    def test_compliance_counts_unserved(self):
+        assert compliance_percent([0.1], 0.2, unserved=1) == pytest.approx(50.0)
+
+    def test_compliance_empty_is_100(self):
+        assert compliance_percent([], 0.2) == 100.0
+
+    def test_cdf_points_monotone(self):
+        x, y = cdf_points(np.random.default_rng(0).random(500))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) > 0)
+
+    def test_cdf_empty(self):
+        x, y = cdf_points([])
+        assert x.size == 0 and y.size == 0
+
+
+class TestNormalize:
+    def test_max_reference(self):
+        assert normalize([1.0, 2.0, 4.0]).tolist() == [0.25, 0.5, 1.0]
+
+    def test_min_reference(self):
+        assert normalize([2.0, 4.0], "min").tolist() == [1.0, 2.0]
+
+    def test_first_reference(self):
+        assert normalize([2.0, 4.0], "first").tolist() == [1.0, 2.0]
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], "median")
+
+    def test_zero_reference_is_zeros(self):
+        assert normalize([0.0, 0.0]).tolist() == [0.0, 0.0]

@@ -1,0 +1,63 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    hardware_timeline,
+    rate_sparkline,
+    render_run_timeline,
+)
+from repro.core.paldia import PaldiaPolicy
+from repro.framework.system import ServerlessRun
+from repro.workloads.traces import azure_trace, constant_trace
+
+
+class TestSparkline:
+    def test_width(self):
+        trace = constant_trace(10.0, 60.0)
+        assert len(rate_sparkline(trace, width=40)) == 40
+
+    def test_flat_trace_uniform(self):
+        trace = constant_trace(10.0, 60.0)
+        assert len(set(rate_sparkline(trace, width=20))) == 1
+
+    def test_surge_shows_peak(self):
+        trace = azure_trace(peak_rps=200.0, duration=300.0, seed=1)
+        line = rate_sparkline(trace, width=60)
+        assert "█" in line
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            rate_sparkline(constant_trace(1.0, 10.0), width=0)
+
+
+class TestHardwareTimeline:
+    @pytest.fixture(scope="class")
+    def run_result(self, ):
+        from repro.hardware.profiles import ProfileService
+        from repro.framework.slo import SLO
+        from repro.workloads.models import get_model
+
+        model = get_model("resnet50")
+        profiles = ProfileService()
+        slo = SLO()
+        trace = azure_trace(peak_rps=model.peak_rps, duration=120.0, seed=2)
+        policy = PaldiaPolicy(model, profiles, slo.target_seconds)
+        result = ServerlessRun(model, trace, policy, profiles, slo).execute()
+        return result, trace
+
+    def test_initial_node_recorded(self, run_result):
+        result, _ = run_result
+        assert result.switch_log[0][0] == 0.0
+
+    def test_strip_width_and_alphabet(self, run_result):
+        result, trace = run_result
+        strip = hardware_timeline(result, trace.duration, width=50)
+        assert len(strip) == 50
+        assert set(strip) <= set("VKMc.?")
+
+    def test_render_combines_both(self, run_result):
+        result, trace = run_result
+        out = render_run_timeline(result, trace, width=40)
+        assert "offered rate" in out
+        assert "serving node" in out

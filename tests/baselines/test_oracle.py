@@ -1,0 +1,33 @@
+"""Tests for the clairvoyant Oracle."""
+
+from repro.baselines.oracle import OraclePolicy
+from repro.core.predictor import OraclePredictor
+from repro.workloads.traces import constant_trace
+
+
+class TestOracle:
+    def test_uses_clairvoyant_predictor(self, profiles, resnet50):
+        trace = constant_trace(100.0, 60.0)
+        pol = OraclePolicy(resnet50, profiles, 0.2, trace)
+        assert isinstance(pol.predictor, OraclePredictor)
+
+    def test_instant_switch_flag(self, profiles, resnet50):
+        trace = constant_trace(100.0, 60.0)
+        assert OraclePolicy(resnet50, profiles, 0.2, trace).instant_switch
+
+    def test_no_escalation_hysteresis(self, profiles, resnet50):
+        trace = constant_trace(100.0, 60.0)
+        pol = OraclePolicy(resnet50, profiles, 0.2, trace)
+        assert pol.selector.wait_limit == 1
+
+    def test_initial_hardware_matches_trace_rate(self, profiles, resnet50):
+        low = OraclePolicy(resnet50, profiles, 0.2, constant_trace(5.0, 60.0))
+        high = OraclePolicy(
+            resnet50, profiles, 0.2, constant_trace(resnet50.peak_rps, 60.0)
+        )
+        assert not low.initial_hardware(5.0).is_gpu
+        assert high.initial_hardware(resnet50.peak_rps).is_gpu
+
+    def test_name(self, profiles, resnet50):
+        trace = constant_trace(10.0, 60.0)
+        assert OraclePolicy(resnet50, profiles, 0.2, trace).name == "oracle"

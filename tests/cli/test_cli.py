@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "resnet50"])
+        assert args.scheme == "paldia"
+        assert args.trace == "azure"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "resnet50", "--scheme", "bogus"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.experiment_id == "table2"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "paldia" in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles", "bert"]) == 0
+        assert "p3.2xlarge" in capsys.readouterr().out
+
+    def test_run_short(self, capsys):
+        assert main(["run", "resnet50", "--duration", "30"]) == 0
+        assert "SLO compliance" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "g3s.xlarge" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.framework.slo import SLO
+from repro.hardware.catalog import default_catalog
+from repro.hardware.profiles import ProfileService
+from repro.simulator.engine import Simulator
+from repro.simulator.interference import InterferenceModel
+from repro.workloads.models import get_model
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def catalog():
+    return default_catalog()
+
+
+@pytest.fixture
+def profiles(catalog):
+    return ProfileService(catalog)
+
+
+@pytest.fixture
+def slo():
+    return SLO()
+
+
+@pytest.fixture
+def v100(catalog):
+    return catalog.get("p3.2xlarge")
+
+
+@pytest.fixture
+def m60(catalog):
+    return catalog.get("g3s.xlarge")
+
+
+@pytest.fixture
+def k80(catalog):
+    return catalog.get("p2.xlarge")
+
+
+@pytest.fixture
+def cpu_node(catalog):
+    return catalog.get("c6i.4xlarge")
+
+
+@pytest.fixture
+def resnet50():
+    return get_model("resnet50")
+
+
+@pytest.fixture
+def bert():
+    return get_model("bert")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def no_noise_interference():
+    return InterferenceModel(alpha=1.25, knee=1.0, sub_knee_slope=0.0)

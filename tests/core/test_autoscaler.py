@@ -1,0 +1,66 @@
+"""Tests for the autoscaler."""
+
+import pytest
+
+from repro.core.autoscaler import Autoscaler, containers_for_split
+from repro.core.predictor import EWMAPredictor
+from repro.simulator.containers import ContainerPool
+
+
+class TestContainersForSplit:
+    def test_one_container_per_spatial_batch(self):
+        assert containers_for_split(64, 16, has_temporal=False) == 4
+
+    def test_temporal_reuses_single_container(self):
+        assert containers_for_split(0, 16, has_temporal=True) == 1
+
+    def test_spatial_plus_temporal(self):
+        assert containers_for_split(32, 16, has_temporal=True) == 3
+
+    def test_at_least_one(self):
+        assert containers_for_split(0, 16, has_temporal=False) == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            containers_for_split(-1, 16, True)
+        with pytest.raises(ValueError):
+            containers_for_split(4, 0, True)
+
+
+@pytest.fixture
+def autoscaler(profiles, resnet50, slo):
+    return Autoscaler(
+        model=resnet50,
+        profiles=profiles,
+        predictor=EWMAPredictor(),
+        slo_seconds=slo.target_seconds,
+        keep_alive_seconds=10.0,
+    )
+
+
+class TestAutoscaler:
+    def test_reactive_fills_pool(self, sim, autoscaler):
+        pool = ContainerPool(sim, 1.0)
+        assert autoscaler.reactive(pool, 4) == 4
+
+    def test_predictive_prewarms_for_forecast(self, sim, autoscaler, m60):
+        pool = ContainerPool(sim, 1.0)
+        for _ in range(5):
+            autoscaler.predictor.observe(200.0, 0.0)
+        spawned = autoscaler.predictive(pool, m60, 0.0)
+        assert spawned >= 1
+
+    def test_predictive_idle_noop(self, sim, autoscaler, m60):
+        pool = ContainerPool(sim, 1.0)
+        autoscaler.predictor.observe(0.0, 0.0)
+        autoscaler.predictive(pool, m60, 0.0)
+        assert pool.n_total <= 1
+
+    def test_tick_reaps_idlers(self, sim, autoscaler, m60):
+        pool = ContainerPool(sim, 1.0)
+        pool.add_warm(5)
+        autoscaler.predictor.observe(0.0, 0.0)
+        sim.schedule(60.0, lambda: None)
+        sim.run()
+        out = autoscaler.tick(pool, m60, sim.now)
+        assert out["reaped"] >= 1

@@ -1,0 +1,88 @@
+"""Tests for the contention-aware Paldia extension (future work)."""
+
+import pytest
+
+from repro.core.contention import ContentionAwarePaldiaPolicy
+from repro.core.paldia import PaldiaPolicy
+from repro.framework.slo import SLO
+from repro.framework.system import RunConfig, ServerlessRun
+from repro.workloads.traces import constant_trace
+
+
+@pytest.fixture
+def aware(profiles, resnet50):
+    return ContentionAwarePaldiaPolicy(resnet50, profiles, 0.2)
+
+
+class TestContentionEstimates:
+    def test_starts_neutral(self, aware, cpu_node, m60):
+        assert aware.contention_for(cpu_node) == 1.0
+        assert aware.contention_for(m60) == 1.0
+
+    def test_cpu_observation_raises_cpu_estimate(self, aware, cpu_node):
+        for _ in range(10):
+            aware.observe_contention(1.6, cpu_node)
+        assert aware.contention_for(cpu_node) > 1.3
+
+    def test_cross_kind_inference(self, aware, cpu_node, m60):
+        for _ in range(10):
+            aware.observe_contention(1.7, cpu_node)
+        # GPU estimate rises, but far less than the CPU one.
+        assert 1.0 < aware.contention_for(m60) < aware.contention_for(cpu_node)
+
+    def test_gpu_observation_implies_heavy_cpu_contention(self, aware, m60,
+                                                          cpu_node):
+        for _ in range(10):
+            aware.observe_contention(1.1, m60)
+        assert aware.contention_for(cpu_node) > aware.contention_for(m60)
+
+    def test_observations_below_one_clamped(self, aware, cpu_node):
+        aware.observe_contention(0.5, cpu_node)
+        assert aware.contention_for(cpu_node) == 1.0
+
+    def test_invalid_alpha_rejected(self, profiles, resnet50):
+        with pytest.raises(ValueError):
+            ContentionAwarePaldiaPolicy(
+                resnet50, profiles, 0.2, contention_alpha=0.0
+            )
+
+
+class TestModelInflation:
+    def test_effective_solo_inflated(self, aware, profiles, resnet50, cpu_node):
+        for _ in range(10):
+            aware.observe_contention(1.5, cpu_node)
+        plain = profiles.solo_time(resnet50, cpu_node, 1)
+        assert aware._effective_solo(cpu_node, 1) > plain
+
+    def test_selector_sees_contention(self, aware, cpu_node):
+        for _ in range(10):
+            aware.observe_contention(1.5, cpu_node)
+        assert aware.selector.contention_for(cpu_node) > 1.3
+
+    def test_contention_shifts_hardware_choice(self, profiles, resnet50):
+        # At a rate the CPU handles when uncontended, heavy contention
+        # must push selection off the CPU.
+        calm = ContentionAwarePaldiaPolicy(resnet50, profiles, 0.2)
+        loaded = ContentionAwarePaldiaPolicy(resnet50, profiles, 0.2)
+        cpu = profiles.catalog.get("c6i.4xlarge")
+        for _ in range(10):
+            loaded.observe_contention(1.8, cpu)
+        assert not calm.initial_hardware(15.0).is_gpu
+        assert loaded.initial_hardware(15.0).is_gpu
+
+
+class TestEndToEnd:
+    def test_awareness_helps_under_colocation(self, profiles, resnet50, slo):
+        trace = constant_trace(25.0, 120.0)
+        config = RunConfig(sebs_colocation=True, sebs_invocation_rps=8.0)
+        base = ServerlessRun(
+            resnet50, trace,
+            PaldiaPolicy(resnet50, profiles, slo.target_seconds),
+            profiles, slo, config,
+        ).execute()
+        aware = ServerlessRun(
+            resnet50, trace,
+            ContentionAwarePaldiaPolicy(resnet50, profiles, slo.target_seconds),
+            profiles, slo, config,
+        ).execute()
+        assert aware.slo_compliance >= base.slo_compliance - 0.01

@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=None, monkeypatch=None):
+    if monkeypatch and argv is not None:
+        monkeypatch.setattr(sys, "argv", [name] + argv)
+    return runpy.run_path(str(EXAMPLES / name), run_name="not_main")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        mod = run_example("quickstart.py")
+        mod["main"]()
+        out = capsys.readouterr().out
+        assert "SLO compliance" in out
+        assert "seconds leased per node type" in out
+
+    def test_scheme_comparison(self, capsys):
+        mod = run_example("scheme_comparison.py")
+        mod["main"]("senet18")
+        out = capsys.readouterr().out
+        assert "Paldia" in out and "Oracle" in out
+
+    def test_hybrid_sharing_analysis(self, capsys):
+        mod = run_example("hybrid_sharing_analysis.py")
+        mod["main"]()
+        out = capsys.readouterr().out
+        assert "Equation (1) sweep" in out
+        assert "Optimal split" in out
+
+    def test_adverse_conditions(self, capsys):
+        mod = run_example("adverse_conditions.py")
+        mod["main"]()
+        out = capsys.readouterr().out
+        assert "node failures" in out
+        assert "resource exhaustion" in out
+
+    def test_multi_model_deployment(self, capsys):
+        mod = run_example("multi_model_deployment.py")
+        mod["main"]()
+        out = capsys.readouterr().out
+        assert "provider totals" in out
+        assert "bert" in out

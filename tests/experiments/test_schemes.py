@@ -1,0 +1,29 @@
+"""Tests for the scheme factory."""
+
+import pytest
+
+from repro.experiments.schemes import SCHEMES, make_policy
+from repro.workloads.traces import constant_trace
+
+
+class TestFactory:
+    def test_all_schemes_instantiable(self, profiles, resnet50):
+        for scheme in SCHEMES:
+            pol = make_policy(scheme, resnet50, profiles, 0.2)
+            assert pol.name == scheme
+
+    def test_oracle_needs_trace(self, profiles, resnet50):
+        with pytest.raises(ValueError):
+            make_policy("oracle", resnet50, profiles, 0.2)
+
+    def test_oracle_with_trace(self, profiles, resnet50):
+        trace = constant_trace(10.0, 30.0)
+        assert make_policy("oracle", resnet50, profiles, 0.2, trace).name == "oracle"
+
+    def test_unknown_scheme_rejected(self, profiles, resnet50):
+        with pytest.raises(ValueError):
+            make_policy("nope", resnet50, profiles, 0.2)
+
+    def test_five_evaluated_schemes(self):
+        assert len(SCHEMES) == 5
+        assert "paldia" in SCHEMES

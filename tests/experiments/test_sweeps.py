@@ -1,0 +1,17 @@
+"""Tests for the sensitivity sweeps."""
+
+from repro.experiments import sweeps
+
+
+class TestSweeps:
+    def test_slo_sweep_rows(self):
+        report = sweeps.run_slo_sweep(
+            slo_ms_values=(150.0, 300.0), duration=60.0
+        )
+        assert [r[0] for r in report.rows] == [150.0, 300.0]
+        for row in report.rows:
+            assert 0 <= row[1] <= 100
+
+    def test_interference_sweep_rows(self):
+        report = sweeps.run_interference_sweep(alphas=(1.0,), duration=60.0)
+        assert {r[1] for r in report.rows} == {"paldia", "infless_llama_$"}

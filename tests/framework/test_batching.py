@@ -1,0 +1,81 @@
+"""Tests for the gateway batcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.framework.batching import carve_sizes, window_groups
+
+
+class TestWindowGroups:
+    def test_empty_arrivals(self):
+        assert window_groups(np.array([]), 0.1) == []
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            window_groups(np.array([0.0]), 0.0)
+
+    def test_requests_grouped_by_window(self):
+        arr = np.array([0.01, 0.05, 0.12, 0.13])
+        ws = window_groups(arr, 0.1)
+        assert [w.n for w in ws] == [2, 2]
+        assert ws[0].dispatch_at == pytest.approx(0.1)
+        assert ws[1].dispatch_at == pytest.approx(0.2)
+
+    def test_full_batches_dispatch_early(self):
+        arr = np.linspace(0.0, 0.09, 10)
+        ws = window_groups(arr, 0.1, max_batch=4)
+        assert [w.n for w in ws] == [4, 4, 2]
+        # the first full chunk dispatches when its last request arrived
+        assert ws[0].dispatch_at == pytest.approx(arr[3])
+
+    def test_dispatch_never_before_last_arrival(self):
+        rng = np.random.default_rng(0)
+        arr = np.sort(rng.random(200) * 5.0)
+        for w in window_groups(arr, 0.075, max_batch=16):
+            assert w.dispatch_at >= w.arrivals[-1] - 1e-12
+
+    def test_windows_sorted_by_dispatch(self):
+        rng = np.random.default_rng(1)
+        arr = np.sort(rng.random(500) * 10.0)
+        ws = window_groups(arr, 0.075, max_batch=16)
+        times = [w.dispatch_at for w in ws]
+        assert times == sorted(times)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=30.0), min_size=0, max_size=300),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conservation(self, times, window, max_batch):
+        arr = np.sort(np.asarray(times, dtype=float))
+        ws = window_groups(arr, window, max_batch)
+        total = sum(w.n for w in ws)
+        assert total == arr.size
+        if ws:
+            merged = np.concatenate([w.arrivals for w in ws])
+            assert np.array_equal(np.sort(merged), arr)
+
+
+class TestCarveSizes:
+    def test_exact_multiples(self):
+        assert carve_sizes(32, 16) == [16, 16]
+
+    def test_remainder_in_last(self):
+        assert carve_sizes(20, 16) == [16, 4]
+
+    def test_zero(self):
+        assert carve_sizes(0, 16) == []
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            carve_sizes(-1, 16)
+        with pytest.raises(ValueError):
+            carve_sizes(5, 0)
+
+    @given(st.integers(min_value=0, max_value=10000), st.integers(min_value=1, max_value=256))
+    def test_conservation_and_bounds(self, n, bs):
+        sizes = carve_sizes(n, bs)
+        assert sum(sizes) == n
+        assert all(1 <= s <= bs for s in sizes)

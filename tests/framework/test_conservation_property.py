@@ -1,0 +1,40 @@
+"""Property test: the full framework conserves requests on random traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.paldia import PaldiaPolicy
+from repro.framework.slo import SLO
+from repro.framework.system import ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.workloads.models import get_model
+from repro.workloads.traces import Trace
+
+
+@st.composite
+def random_traces(draw):
+    duration = draw(st.floats(min_value=10.0, max_value=40.0))
+    n = draw(st.integers(min_value=0, max_value=400))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.random(n) * duration * 0.95)
+    n_bins = int(np.ceil(duration))
+    counts, _ = np.histogram(arrivals, bins=n_bins, range=(0, n_bins))
+    return Trace("random", arrivals, float(duration),
+                 counts.astype(float), 1.0)
+
+
+class TestConservationProperty:
+    @given(random_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_offered_equals_completed_plus_unserved(self, trace):
+        model = get_model("resnet50")
+        profiles = ProfileService()
+        slo = SLO()
+        policy = PaldiaPolicy(model, profiles, slo.target_seconds)
+        r = ServerlessRun(model, trace, policy, profiles, slo).execute()
+        assert r.offered_requests == trace.n_requests
+        assert r.completed_requests + r.unserved_requests == r.offered_requests
+        if r.metrics is not None:
+            assert r.metrics.completed_requests() == r.completed_requests

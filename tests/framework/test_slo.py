@@ -1,0 +1,35 @@
+"""Tests for SLO accounting."""
+
+import numpy as np
+import pytest
+
+from repro.framework.slo import DEFAULT_SLO_SECONDS, SLO
+
+
+class TestSLO:
+    def test_paper_default_200ms(self):
+        assert DEFAULT_SLO_SECONDS == 0.200
+        assert SLO().target_ms == pytest.approx(200.0)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            SLO(target_seconds=0.0)
+
+    def test_invalid_goal_rejected(self):
+        with pytest.raises(ValueError):
+            SLO(compliance_goal=1.5)
+
+    def test_met_mask(self):
+        slo = SLO(0.2)
+        mask = slo.met(np.array([0.1, 0.2, 0.3]))
+        assert mask.tolist() == [True, True, False]
+
+    def test_compliance_fraction(self):
+        slo = SLO(0.2)
+        assert slo.compliance(np.array([0.1, 0.3])) == pytest.approx(0.5)
+
+    def test_empty_is_vacuous(self):
+        assert SLO().compliance(np.array([])) == 1.0
+
+    def test_scaled(self):
+        assert SLO(0.2).scaled(2.0).target_seconds == pytest.approx(0.4)

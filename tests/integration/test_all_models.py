@@ -1,0 +1,19 @@
+"""Integration: Paldia serves every one of the 16 workloads acceptably."""
+
+import pytest
+
+from repro.core.paldia import PaldiaPolicy
+from repro.framework.system import ServerlessRun
+from repro.workloads.models import ALL_MODELS
+from repro.workloads.traces import azure_trace
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+def test_paldia_serves_model(model, profiles, slo):
+    trace = azure_trace(peak_rps=model.peak_rps, duration=120.0, seed=4)
+    policy = PaldiaPolicy(model, profiles, slo.target_seconds)
+    r = ServerlessRun(model, trace, policy, profiles, slo).execute()
+    # Conservation + a sane compliance floor on a short bursty trace.
+    assert r.completed_requests + r.unserved_requests == r.offered_requests
+    assert r.slo_compliance >= 0.80, f"{model.name}: {r.slo_compliance:.3f}"
+    assert r.total_cost > 0

@@ -1,0 +1,38 @@
+"""Integration: runs are bit-reproducible for a fixed seed."""
+
+import pytest
+
+from repro.core.paldia import PaldiaPolicy
+from repro.framework.system import RunConfig, ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.framework.slo import SLO
+from repro.workloads.models import get_model
+from repro.workloads.traces import azure_trace
+
+
+def one_run(seed):
+    model = get_model("resnet50")
+    profiles = ProfileService()
+    slo = SLO()
+    trace = azure_trace(peak_rps=model.peak_rps, duration=150.0, seed=seed)
+    policy = PaldiaPolicy(model, profiles, slo.target_seconds)
+    return ServerlessRun(
+        model, trace, policy, profiles, slo, RunConfig(seed=seed)
+    ).execute()
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_results(self):
+        a, b = one_run(13), one_run(13)
+        assert a.slo_compliance == b.slo_compliance
+        assert a.total_cost == b.total_cost
+        assert a.p99_seconds == b.p99_seconds
+        assert a.switch_log == b.switch_log
+        assert a.mode_split == b.mode_split
+
+    def test_different_seeds_differ(self):
+        a, b = one_run(13), one_run(14)
+        assert (
+            a.offered_requests != b.offered_requests
+            or a.total_cost != b.total_cost
+        )

@@ -1,0 +1,78 @@
+"""Integration: cross-scheme invariants on a shared trace."""
+
+import pytest
+
+from repro.experiments.schemes import SCHEMES, make_policy
+from repro.framework.system import ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.framework.slo import SLO
+from repro.workloads.models import get_model
+from repro.workloads.traces import azure_trace
+
+
+@pytest.fixture(scope="module")
+def results():
+    model = get_model("resnet50")
+    slo = SLO()
+    trace = azure_trace(peak_rps=model.peak_rps, duration=240.0, seed=9)
+    out = {}
+    for scheme in list(SCHEMES) + ["oracle"]:
+        profiles = ProfileService()
+        policy = make_policy(scheme, model, profiles, slo.target_seconds, trace)
+        out[scheme] = ServerlessRun(model, trace, policy, profiles, slo).execute()
+    return out
+
+
+class TestCrossScheme:
+    def test_all_conserve_requests(self, results):
+        for scheme, r in results.items():
+            assert (
+                r.completed_requests + r.unserved_requests == r.offered_requests
+            ), scheme
+
+    def test_performant_schemes_match_each_other_in_cost(self, results):
+        assert results["molecule_P"].total_cost == pytest.approx(
+            results["infless_llama_P"].total_cost, rel=0.01
+        )
+
+    def test_performant_schemes_cost_most(self, results):
+        ceiling = results["molecule_P"].total_cost
+        for scheme in ("paldia", "molecule_$", "infless_llama_$", "oracle"):
+            assert results[scheme].total_cost < ceiling
+
+    def test_paldia_compliance_between_dollar_and_p(self, results):
+        assert (
+            results["molecule_P"].slo_compliance + 1e-6
+            >= results["paldia"].slo_compliance
+            >= results["infless_llama_$"].slo_compliance - 1e-6
+        )
+
+    def test_oracle_at_least_paldia_minus_noise(self, results):
+        assert (
+            results["oracle"].slo_compliance
+            >= results["paldia"].slo_compliance - 0.03
+        )
+
+    def test_molecule_never_uses_mps(self, results):
+        assert "spatial" not in results["molecule_$"].mode_split
+
+    def test_infless_gpu_work_is_spatial(self, results):
+        split = results["infless_llama_P"].mode_split
+        assert split.get("spatial", 0) > 0
+        assert split.get("temporal", 0) == 0
+
+    def test_paldia_uses_both_modes_when_mps_pays(self):
+        # ResNet 50's near-1 M60 FBR makes Paldia mostly time-share there;
+        # SENet 18 (low FBR) is where hybrid spatial sharing pays off.
+        model = get_model("senet18")
+        slo = SLO()
+        trace = azure_trace(peak_rps=model.peak_rps, duration=240.0, seed=9)
+        profiles = ProfileService()
+        policy = make_policy("paldia", model, profiles, slo.target_seconds)
+        r = ServerlessRun(model, trace, policy, profiles, slo).execute()
+        assert r.mode_split.get("spatial", 0) > 0
+        assert r.mode_split.get("temporal", 0) > 0
+
+    def test_every_scheme_reports_energy(self, results):
+        for scheme, r in results.items():
+            assert r.energy_joules > 0, scheme

@@ -1,0 +1,63 @@
+"""Tests for failure scheduling and injection."""
+
+import pytest
+
+from repro.simulator.failures import FailureInjector, FailureSchedule
+
+
+class TestSchedule:
+    def test_downtime_must_be_shorter_than_period(self):
+        with pytest.raises(ValueError):
+            FailureSchedule(period_seconds=60.0, downtime_seconds=60.0)
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(ValueError):
+            FailureSchedule(period_seconds=-1.0, downtime_seconds=0.5)
+
+    def test_is_down_before_first_failure(self):
+        s = FailureSchedule(120.0, 60.0, first_failure_at=60.0)
+        assert not s.is_down(30.0)
+
+    def test_is_down_during_outage(self):
+        s = FailureSchedule(120.0, 60.0, first_failure_at=60.0)
+        assert s.is_down(61.0)
+        assert s.is_down(119.0)
+
+    def test_is_up_between_outages(self):
+        s = FailureSchedule(120.0, 60.0, first_failure_at=60.0)
+        assert not s.is_down(130.0)
+        assert s.is_down(185.0)  # second outage at 180
+
+
+class TestInjector:
+    def test_alternating_callbacks(self, sim):
+        events = []
+        inj = FailureInjector(
+            sim,
+            FailureSchedule(100.0, 40.0, first_failure_at=10.0),
+            on_fail=lambda: events.append(("fail", sim.now)),
+            on_recover=lambda: events.append(("recover", sim.now)),
+            horizon=250.0,
+        )
+        inj.start()
+        sim.run()
+        assert events[:4] == [
+            ("fail", 10.0),
+            ("recover", 50.0),
+            ("fail", 110.0),
+            ("recover", 150.0),
+        ]
+        assert inj.failures_injected >= 2
+
+    def test_horizon_stops_injection(self, sim):
+        events = []
+        inj = FailureInjector(
+            sim,
+            FailureSchedule(100.0, 40.0, first_failure_at=10.0),
+            on_fail=lambda: events.append("fail"),
+            on_recover=lambda: events.append("recover"),
+            horizon=20.0,
+        )
+        inj.start()
+        sim.run()
+        assert events == ["fail", "recover"]

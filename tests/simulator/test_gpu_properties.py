@@ -1,0 +1,91 @@
+"""Property-based tests on the GPU device's conservation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.framework.request import Batch, ShareMode
+from repro.simulator.engine import Simulator
+from repro.simulator.gpu import GPUDevice
+from repro.simulator.interference import InterferenceModel
+from repro.simulator.job import Job
+from repro.hardware.catalog import default_catalog
+from repro.workloads.models import get_model
+
+V100 = default_catalog().get("p3.2xlarge")
+MODEL = get_model("resnet50")
+
+
+def run_workload(specs):
+    """specs: list of (delay, solo, fbr, mode_is_spatial)."""
+    sim = Simulator()
+    dev = GPUDevice(
+        sim, V100, InterferenceModel(sub_knee_slope=0.0),
+        np.random.default_rng(0), exec_noise_sigma=0.0,
+    )
+    done = []
+    for i, (delay, solo, fbr, spatial) in enumerate(specs):
+        mode = ShareMode.SPATIAL if spatial else ShareMode.TEMPORAL
+        batch = Batch(model=MODEL, arrivals=np.array([delay]),
+                      dispatched_at=delay, mode=mode)
+        job = Job(batch=batch, solo_time=solo, fbr=fbr, mem_gb=0.5,
+                  mode=mode, on_complete=lambda j, i=i: done.append(i))
+        sim.schedule_at(delay, lambda j=job: dev.submit(j))
+    sim.run()
+    return sim, dev, done
+
+
+workload_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=0.0, max_value=0.95),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestConservation:
+    @given(workload_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_every_job_completes_exactly_once(self, specs):
+        _, dev, done = run_workload(specs)
+        assert sorted(done) == list(range(len(specs)))
+        assert dev.jobs_completed == len(specs)
+        assert dev.idle
+
+    @given(workload_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_memory_fully_released(self, specs):
+        _, dev, _ = run_workload(specs)
+        assert dev.mem_free_gb == pytest.approx(V100.memory_gb)
+
+    @given(workload_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_no_job_faster_than_solo(self, specs):
+        sim = Simulator()
+        dev = GPUDevice(
+            sim, V100, InterferenceModel(sub_knee_slope=0.0),
+            np.random.default_rng(0), exec_noise_sigma=0.0,
+        )
+        jobs = []
+        for delay, solo, fbr, spatial in specs:
+            mode = ShareMode.SPATIAL if spatial else ShareMode.TEMPORAL
+            batch = Batch(model=MODEL, arrivals=np.array([delay]),
+                          dispatched_at=delay, mode=mode)
+            job = Job(batch=batch, solo_time=solo, fbr=fbr, mem_gb=0.5, mode=mode)
+            jobs.append(job)
+            sim.schedule_at(delay, lambda j=job: dev.submit(j))
+        sim.run()
+        for job in jobs:
+            assert job.completed_at is not None
+            exec_time = job.completed_at - job.started_at
+            assert exec_time >= job.solo_time - 1e-9
+
+    @given(workload_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_busy_time_bounded_by_makespan(self, specs):
+        sim, dev, _ = run_workload(specs)
+        assert dev.busy_seconds <= sim.now + 1e-9

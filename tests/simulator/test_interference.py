@@ -1,0 +1,86 @@
+"""Tests for the MPS interference law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulator.interference import DEFAULT_INTERFERENCE, InterferenceModel
+
+
+class TestSlowdown:
+    def test_no_demand_no_slowdown(self):
+        assert DEFAULT_INTERFERENCE.slowdown(0.0) == 1.0
+
+    def test_below_knee_is_free(self):
+        m = InterferenceModel(sub_knee_slope=0.0)
+        assert m.slowdown(0.5) == 1.0
+        assert m.slowdown(0.99) == 1.0
+
+    def test_at_knee_boundary(self):
+        m = InterferenceModel(sub_knee_slope=0.0)
+        assert m.slowdown(1.0) == pytest.approx(1.0)
+
+    def test_past_knee_superlinear(self):
+        m = InterferenceModel(alpha=1.25, sub_knee_slope=0.0)
+        assert m.slowdown(2.0) == pytest.approx(2.0**1.25)
+
+    def test_alpha_one_recovers_paper_linear_model(self):
+        m = InterferenceModel(alpha=1.0, sub_knee_slope=0.0)
+        assert m.slowdown(3.0) == pytest.approx(3.0)
+
+    def test_custom_knee_shifts_saturation(self):
+        m = InterferenceModel(alpha=1.0, knee=2.0, sub_knee_slope=0.0)
+        assert m.slowdown(1.5) == 1.0
+        assert m.slowdown(4.0) == pytest.approx(2.0)
+
+    def test_sub_knee_slope_charges_below_knee(self):
+        m = InterferenceModel(sub_knee_slope=0.1)
+        assert m.slowdown(0.5) == pytest.approx(1.05)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_INTERFERENCE.slowdown(-0.1)
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceModel(alpha=0.9)
+
+    def test_nonpositive_knee_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceModel(knee=0.0)
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceModel(sub_knee_slope=-0.01)
+
+
+class TestVectorised:
+    def test_array_matches_scalar(self):
+        m = DEFAULT_INTERFERENCE
+        s = np.array([0.0, 0.5, 1.0, 1.5, 3.0])
+        out = m.slowdown_array(s)
+        for si, oi in zip(s, out):
+            assert oi == pytest.approx(m.slowdown(float(si)))
+
+    def test_array_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_INTERFERENCE.slowdown_array(np.array([0.1, -0.2]))
+
+    @given(st.floats(min_value=0.0, max_value=50.0))
+    def test_slowdown_at_least_one(self, s):
+        assert DEFAULT_INTERFERENCE.slowdown(s) >= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_monotone_nondecreasing(self, a, b):
+        lo, hi = sorted((a, b))
+        m = DEFAULT_INTERFERENCE
+        assert m.slowdown(lo) <= m.slowdown(hi) + 1e-12
+
+    @given(st.floats(min_value=1.0, max_value=2.0), st.floats(min_value=1.0, max_value=20.0))
+    def test_alpha_orders_slowdowns(self, alpha, s):
+        base = InterferenceModel(alpha=1.0, sub_knee_slope=0.0)
+        steep = InterferenceModel(alpha=alpha, sub_knee_slope=0.0)
+        assert steep.slowdown(s) >= base.slowdown(s) - 1e-12

@@ -1,0 +1,57 @@
+"""Tests for the power model."""
+
+import pytest
+
+from repro.simulator.cluster import Cluster
+from repro.simulator.power import (
+    PowerReport,
+    cluster_energy_joules,
+    node_energy_joules,
+    power_report,
+)
+
+
+class TestNodeEnergy:
+    def test_idle_node_draws_idle_power(self, sim, catalog, m60):
+        cluster = Cluster(sim, catalog)
+        node = cluster.acquire(m60, lambda n: None, instant=True)
+        assert node_energy_joules(node, 100.0) == pytest.approx(
+            m60.idle_watts * 100.0
+        )
+
+    def test_busy_time_adds_active_power(self, sim, catalog, m60):
+        cluster = Cluster(sim, catalog)
+        node = cluster.acquire(m60, lambda n: None, instant=True)
+        node.device.busy_seconds = 40.0
+        expected = m60.idle_watts * 100.0 + (m60.peak_watts - m60.idle_watts) * 40.0
+        assert node_energy_joules(node, 100.0) == pytest.approx(expected)
+
+    def test_busy_clamped_to_lease(self, sim, catalog, m60):
+        cluster = Cluster(sim, catalog)
+        node = cluster.acquire(m60, lambda n: None, instant=True)
+        node.device.busy_seconds = 500.0
+        assert node_energy_joules(node, 100.0) == pytest.approx(
+            m60.peak_watts * 100.0
+        )
+
+
+class TestClusterEnergy:
+    def test_sums_over_leases(self, sim, catalog, m60, v100):
+        cluster = Cluster(sim, catalog)
+        cluster.acquire(m60, lambda n: None, instant=True)
+        cluster.acquire(v100, lambda n: None, instant=True)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        expected = (m60.idle_watts + v100.idle_watts) * 10.0
+        assert cluster_energy_joules(cluster) == pytest.approx(expected)
+
+    def test_power_report_average(self, sim, catalog, m60):
+        cluster = Cluster(sim, catalog)
+        cluster.acquire(m60, lambda n: None, instant=True)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        rep = power_report(cluster, 10.0)
+        assert rep.avg_watts == pytest.approx(m60.idle_watts)
+
+    def test_zero_horizon_report(self):
+        assert PowerReport(100.0, 0.0).avg_watts == 0.0

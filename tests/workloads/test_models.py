@@ -1,0 +1,80 @@
+"""Tests for the 16 workload specs."""
+
+import pytest
+
+from repro.workloads.models import (
+    ALL_MODELS,
+    Domain,
+    LANGUAGE_MODELS,
+    VISION_MODELS,
+    get_model,
+    language_models,
+    vision_models,
+)
+
+
+class TestRoster:
+    def test_sixteen_models(self):
+        assert len(ALL_MODELS) == 16
+
+    def test_twelve_vision_four_language(self):
+        assert len(VISION_MODELS) == 12
+        assert len(LANGUAGE_MODELS) == 4
+
+    def test_paper_names_present(self):
+        for name in [
+            "resnet50", "googlenet", "densenet121", "dpn92", "vgg19",
+            "simplified_dla", "resnet18", "mobilenet", "mobilenet_v2",
+            "senet18", "shufflenet_v2", "efficientnet_b0",
+            "albert", "bert", "distilbert", "funnel_transformer",
+        ]:
+            assert get_model(name).name == name
+
+    def test_unknown_model_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="resnet50"):
+            get_model("resnet999")
+
+    def test_max_batches_match_paper(self):
+        assert all(m.max_batch == 128 for m in VISION_MODELS)
+        assert all(m.max_batch == 8 for m in LANGUAGE_MODELS)
+
+
+class TestPeaks:
+    def test_high_fbr_vision_peak_225(self):
+        assert get_model("resnet50").peak_rps == 225.0
+
+    def test_low_fbr_vision_peak_450(self):
+        assert get_model("senet18").peak_rps == 450.0
+
+    def test_language_peak_8(self):
+        assert get_model("bert").peak_rps == 8.0
+
+    def test_language_fbr_exceeds_vision(self):
+        max_vision = max(m.fbr_v100 for m in VISION_MODELS)
+        min_language = min(m.fbr_v100 for m in LANGUAGE_MODELS)
+        assert min_language > max_vision
+
+
+class TestMemoryModel:
+    def test_job_mem_monotone_in_batch(self):
+        m = get_model("bert")
+        mems = [m.job_mem_gb(b) for b in range(1, m.max_batch + 1)]
+        assert mems == sorted(mems)
+
+    def test_full_batch_uses_anchor(self):
+        m = get_model("resnet50")
+        assert m.job_mem_gb(m.max_batch) == pytest.approx(m.mem_gb_per_batch)
+
+    def test_weights_floor(self):
+        m = get_model("resnet50")
+        assert m.job_mem_gb(1) >= m.weights_fraction * m.mem_gb_per_batch
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError):
+            get_model("resnet50").job_mem_gb(0)
+
+    def test_helpers_return_copies(self):
+        a = vision_models()
+        a.pop()
+        assert len(vision_models()) == 12
+        assert len(language_models()) == 4

@@ -1,0 +1,59 @@
+"""Tests for the SeBS co-location injector."""
+
+import pytest
+
+from repro.simulator.cluster import Cluster
+from repro.workloads.sebs import SEBS_WORKLOADS, SebsColocator
+
+
+class TestColocator:
+    def test_three_paper_functions(self):
+        names = {w.name for w in SEBS_WORKLOADS}
+        assert names == {"file_compression", "dynamic_html", "image_thumbnailing"}
+
+    def test_cpu_nodes_feel_more_contention(self, sim, catalog):
+        cluster = Cluster(sim, catalog)
+        cpu = cluster.acquire(catalog.get("c6i.4xlarge"), lambda n: None, instant=True)
+        gpu = cluster.acquire(catalog.get("g3s.xlarge"), lambda n: None, instant=True)
+        colo = SebsColocator(sim, rng_seed=1, invocation_rps=8.0)
+        colo.current_load_cores = 4.0
+        f_cpu = colo._factor_for(cpu, 4.0)
+        f_gpu = colo._factor_for(gpu, 4.0)
+        assert f_cpu > f_gpu > 1.0
+
+    def test_attach_applies_contention(self, sim, catalog):
+        cluster = Cluster(sim, catalog)
+        node = cluster.acquire(catalog.get("c6i.4xlarge"), lambda n: None, instant=True)
+        colo = SebsColocator(sim, rng_seed=1)
+        colo.current_load_cores = 3.0
+        colo.attach(node)
+        assert node.device.contention_factor > 1.0
+
+    def test_detach_clears_old_node(self, sim, catalog):
+        cluster = Cluster(sim, catalog)
+        a = cluster.acquire(catalog.get("c6i.4xlarge"), lambda n: None, instant=True)
+        b = cluster.acquire(catalog.get("g3s.xlarge"), lambda n: None, instant=True)
+        colo = SebsColocator(sim, rng_seed=1)
+        colo.current_load_cores = 3.0
+        colo.attach(a)
+        colo.attach(b)
+        assert a.device.contention_factor == 1.0
+        assert b.device.contention_factor > 1.0
+
+    def test_tick_loop_resamples(self, sim, catalog):
+        cluster = Cluster(sim, catalog)
+        node = cluster.acquire(catalog.get("c6i.4xlarge"), lambda n: None, instant=True)
+        colo = SebsColocator(sim, rng_seed=1, update_seconds=1.0, invocation_rps=8.0)
+        colo.attach(node)
+        colo.start()
+        sim.run(until=5.5)
+        assert node.device.contention_factor >= 1.0
+
+    def test_zero_invocations_zero_contention(self, sim, catalog):
+        cluster = Cluster(sim, catalog)
+        node = cluster.acquire(catalog.get("c6i.4xlarge"), lambda n: None, instant=True)
+        colo = SebsColocator(sim, rng_seed=1, invocation_rps=1e-9)
+        colo.attach(node)
+        colo.start()
+        sim.run(until=3.0)
+        assert node.device.contention_factor == pytest.approx(1.0, abs=0.2)

@@ -1,0 +1,70 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace_io import (
+    estimate_bin_rates,
+    load_csv,
+    load_npz,
+    save_csv,
+    save_npz,
+)
+from repro.workloads.traces import azure_trace, constant_trace
+
+
+class TestNpzRoundTrip:
+    def test_lossless(self, tmp_path):
+        trace = azure_trace(peak_rps=100.0, duration=120.0, seed=3)
+        path = tmp_path / "trace.npz"
+        save_npz(trace, path)
+        back = load_npz(path)
+        assert back.name == trace.name
+        assert back.duration == trace.duration
+        assert np.array_equal(back.arrivals, trace.arrivals)
+        assert np.array_equal(back.bin_rates, trace.bin_rates)
+
+
+class TestCsvRoundTrip:
+    def test_arrivals_preserved(self, tmp_path):
+        trace = constant_trace(10.0, 20.0)
+        path = tmp_path / "trace.csv"
+        save_csv(trace, path)
+        back = load_csv(path, duration=20.0)
+        assert np.allclose(back.arrivals, trace.arrivals, atol=1e-5)
+
+    def test_rates_reestimated(self, tmp_path):
+        trace = constant_trace(10.0, 20.0)
+        path = tmp_path / "trace.csv"
+        save_csv(trace, path)
+        back = load_csv(path, duration=20.0)
+        assert back.mean_rps == pytest.approx(10.0, rel=0.01)
+        assert back.bin_rates.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_duration_inferred(self, tmp_path):
+        trace = constant_trace(5.0, 10.0)
+        path = tmp_path / "trace.csv"
+        save_csv(trace, path)
+        back = load_csv(path)
+        assert back.duration >= trace.arrivals[-1]
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "hand.csv"
+        path.write_text("arrival_seconds\n0.5\n1.5\n")
+        back = load_csv(path)
+        assert back.n_requests == 2
+
+
+class TestEstimateBinRates:
+    def test_counts_per_bin(self):
+        arr = np.array([0.1, 0.2, 1.5])
+        rates = estimate_bin_rates(arr, duration=2.0, bin_seconds=1.0)
+        assert rates.tolist() == [2.0, 1.0]
+
+    def test_fractional_bins(self):
+        rates = estimate_bin_rates(np.array([0.1]), 1.0, 0.5)
+        assert rates.tolist() == [2.0, 0.0]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_bin_rates(np.array([0.1]), 0.0)
