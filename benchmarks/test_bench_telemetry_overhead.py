@@ -1,0 +1,112 @@
+"""Telemetry overhead guard.
+
+Two contracts from the observability PR:
+
+* a fully-traced run (spans + decision events + metric sampling) stays
+  within 10% of the untraced wall-clock on a mid-size workload;
+* the disabled tracer adds no measurable overhead to the engine hot
+  loop — the ``tracer.enabled`` guard is the entire disabled-path cost.
+
+Both are best-of-N ``perf_counter`` comparisons rather than
+pytest-benchmark fixtures: ratio assertions need paired timings from the
+same process and moment, not calibrated statistics.
+"""
+
+from time import perf_counter
+
+from repro.experiments.schemes import make_policy
+from repro.framework.slo import SLO
+from repro.framework.system import ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.simulator.engine import Simulator
+from repro.telemetry import NULL_TRACER, Tracer
+from repro.workloads.models import get_model
+from repro.workloads.traces import poisson_trace
+
+DURATION = 60.0
+ROUNDS = 5
+
+
+def run_once(tracer):
+    model = get_model("resnet50")
+    profiles = ProfileService()
+    slo = SLO()
+    trace = poisson_trace(rate_rps=model.peak_rps, duration=DURATION, seed=0)
+    policy = make_policy("paldia", model, profiles, slo.target_seconds, trace)
+    run = ServerlessRun(model, trace, policy, profiles, slo, tracer=tracer)
+    return run.execute()
+
+
+def best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def best_of_paired(fn_a, fn_b, rounds=ROUNDS):
+    """Best-of-N with the two variants interleaved round by round, so
+    machine drift (thermal, page cache, a noisy neighbour) hits both."""
+    best_a = best_b = float("inf")
+    fn_a()  # shared warm-up: imports, profile tables, allocator pools
+    for _ in range(rounds):
+        t0 = perf_counter()
+        fn_a()
+        best_a = min(best_a, perf_counter() - t0)
+        t0 = perf_counter()
+        fn_b()
+        best_b = min(best_b, perf_counter() - t0)
+    return best_a, best_b
+
+
+def test_traced_run_within_10_percent():
+    untraced, traced = best_of_paired(
+        lambda: run_once(None), lambda: run_once(Tracer())
+    )
+    ratio = traced / untraced
+    print(f"\nuntraced {untraced * 1e3:.1f} ms, traced {traced * 1e3:.1f} ms, "
+          f"ratio {ratio:.3f}")
+    assert ratio <= 1.10, (
+        f"tracing overhead {100 * (ratio - 1):.1f}% exceeds the 10% budget"
+    )
+
+
+def test_disabled_tracer_adds_no_engine_overhead():
+    # Pure engine hot loop: N events whose callback does one guarded
+    # emission, exactly like an instrumented hook site.
+    n_events = 50_000
+
+    def loop(tracer):
+        sim = Simulator()
+
+        def hook():
+            if tracer.enabled:
+                tracer.event("bench.tick", sim.now)
+
+        for i in range(n_events):
+            sim.schedule_at(i * 1e-3, hook)
+        sim.run()
+
+    class Bare:
+        enabled = False
+
+    baseline = best_of(lambda: loop(Bare()), rounds=5)
+    disabled = best_of(lambda: loop(NULL_TRACER), rounds=5)
+    ratio = disabled / baseline
+    print(f"\nbare {baseline * 1e3:.1f} ms, NULL_TRACER {disabled * 1e3:.1f} ms, "
+          f"ratio {ratio:.3f}")
+    # "No measurable overhead": identical code shape, so only scheduler
+    # noise separates them.  5% absorbs timer jitter on a shared box.
+    assert ratio <= 1.05
+
+
+def test_disabled_tracer_schedules_no_sampler_events():
+    result_disabled = run_once(Tracer(enabled=False))
+    result_untraced = run_once(None)
+    assert result_disabled.total_cost == result_untraced.total_cost
+    assert (
+        result_disabled.metrics.completed_requests()
+        == result_untraced.metrics.completed_requests()
+    )

@@ -13,6 +13,14 @@ from repro.analysis.timeline import (
     rate_sparkline,
     render_run_timeline,
 )
+from repro.analysis.trace_report import (
+    BREAKDOWN_COMPONENTS,
+    breakdown_totals,
+    decision_rows,
+    load_trace,
+    render_trace_report,
+    switch_rows,
+)
 from repro.analysis.stats import (
     RunSummary,
     cdf_points,
@@ -25,9 +33,10 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
-    "RunSummary", "SCHEME_LABELS", "TailBreakdown", "cdf_points",
-    "compliance_percent", "drop_outliers", "format_value",
-    "hardware_timeline", "mean_without_outliers", "normalize", "percentile",
-    "rate_sparkline", "render_kv", "render_run_timeline",
-    "render_table", "scheme_label", "summarize_runs", "tail_breakdown_of",
+    "BREAKDOWN_COMPONENTS", "RunSummary", "SCHEME_LABELS", "TailBreakdown",
+    "breakdown_totals", "cdf_points", "compliance_percent", "decision_rows",
+    "drop_outliers", "format_value", "hardware_timeline", "load_trace",
+    "mean_without_outliers", "normalize", "percentile", "rate_sparkline",
+    "render_kv", "render_run_timeline", "render_table", "render_trace_report",
+    "scheme_label", "summarize_runs", "switch_rows", "tail_breakdown_of",
 ]

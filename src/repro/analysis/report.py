@@ -3,13 +3,27 @@
 Every experiment prints the same rows/series the paper's figure or table
 reports — as aligned text tables, since the harness is judged on the
 numbers, not on pixels.
+
+Rendered text reaches the terminal through :func:`emit` — a module-level
+logger on the ``repro`` hierarchy rather than ad-hoc ``print`` calls —
+so deliverable output, ``--verbose`` diagnostics, and library consumers'
+handlers all flow through one configurable root.
 """
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Iterable, Mapping, Sequence
 
-__all__ = ["render_table", "render_kv", "format_value", "SCHEME_LABELS"]
+__all__ = ["render_table", "render_kv", "format_value", "emit", "SCHEME_LABELS"]
+
+logger = logging.getLogger(__name__)
+
+
+def emit(text: str) -> None:
+    """Deliver rendered report text to the user (INFO on the ``repro``
+    logger; the CLI configures the root handler once at startup)."""
+    logger.info(text)
 
 #: Display names mirroring the paper's legends.
 SCHEME_LABELS: dict[str, str] = {

@@ -24,6 +24,7 @@ from repro.framework.batching import carve_sizes
 from repro.framework.request import ShareMode
 from repro.hardware.catalog import HardwareSpec
 from repro.hardware.profiles import ProfileService
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.models import ModelSpec
 
 __all__ = ["PlannedBatch", "WindowPlan", "Policy", "HysteresisGate"]
@@ -131,6 +132,15 @@ class Policy(ABC):
         self.model = model
         self.profiles = profiles
         self.slo_seconds = float(slo_seconds)
+        #: Decision-audit sink (disabled by default; the framework binds
+        #: the run's tracer before the first decision is made).
+        self.tracer: Tracer = NULL_TRACER
+
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Attach the run's tracer.  Policies owning nested decision
+        components (Paldia's :class:`~repro.core.hardware_selection.
+        HardwareSelector`) override this to propagate the handle."""
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Rate observations (default: ignore; prediction-based policies use it)

@@ -4,23 +4,35 @@ Commands
 --------
 ``profiles [MODEL]``
     Print Table II and the profiled rows for a model.
-``run MODEL [--scheme S] [--trace T] [--duration D] [--seed N]``
-    Serve one workload with one scheme and print the headline metrics.
+``run MODEL [--scheme S] [--trace T] [--duration D] [--seed N]
+    [--trace-out F.jsonl] [--chrome-trace F.json] [--profile-engine]``
+    Serve one workload with one scheme and print the headline metrics;
+    optionally record telemetry (spans, decision audit, metric samples)
+    to JSONL and/or Chrome ``trace_event`` format (opens in Perfetto).
 ``compare MODEL [...]``
     All schemes side by side on the same trace.
 ``experiment ID [...]``
     Regenerate one paper figure/table (fig1, fig3, ..., table3, ablations).
+``trace-report FILE``
+    Post-mortem a recorded JSONL trace: latency breakdown, Algorithm 1
+    decision audit, switches, leases.
 ``list``
     Show available models, schemes, traces, and experiments.
+
+All output flows through the stdlib ``logging`` module: the ``repro``
+root logger is configured once here, and ``--verbose`` raises it to
+DEBUG for component diagnostics.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Callable, Optional, Sequence
 
-from repro.analysis.report import render_kv, render_table, scheme_label
+from repro.analysis.report import emit, render_kv, render_table, scheme_label
+from repro.analysis.trace_report import render_trace_report
 from repro.experiments import (
     ablations,
     fig01,
@@ -41,6 +53,14 @@ from repro.experiments.schemes import SCHEMES, make_policy
 from repro.framework.slo import SLO
 from repro.framework.system import ServerlessRun
 from repro.hardware.profiles import ProfileService
+from repro.simulator.engine import Simulator
+from repro.telemetry import (
+    EngineProfiler,
+    Tracer,
+    summary_counts,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.workloads.models import ALL_MODELS, get_model
 from repro.workloads.traces import (
     azure_trace,
@@ -49,7 +69,9 @@ from repro.workloads.traces import (
     wiki_trace,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "configure_logging"]
+
+logger = logging.getLogger(__name__)
 
 _EXPERIMENTS = {
     "fig1": lambda a: fig01.run(duration=a.duration, seed=a.seed),
@@ -84,43 +106,102 @@ _TRACES: dict[str, Callable] = {
 }
 
 
+class _CliFormatter(logging.Formatter):
+    """Deliverable output (INFO) stays bare; diagnostics get a prefix."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        msg = record.getMessage()
+        if record.levelno == logging.INFO:
+            return msg
+        return f"[{record.levelname.lower()}] {record.name}: {msg}"
+
+
+def configure_logging(verbose: bool = False) -> None:
+    """Configure the ``repro`` root logger exactly once per invocation.
+
+    ``force=True`` rebinds the handler to the *current* ``sys.stdout``
+    so repeated in-process invocations (tests, notebooks) keep working
+    after stream redirection.
+    """
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setFormatter(_CliFormatter())
+    logging.basicConfig(
+        level=logging.DEBUG if verbose else logging.INFO,
+        handlers=[handler],
+        force=True,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Paldia (IPDPS 2024) reproduction toolkit",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="enable DEBUG logging on the repro logger",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("profiles", help="print catalog + profiled rows")
+    p = sub.add_parser("profiles", parents=[common],
+                       help="print catalog + profiled rows")
     p.add_argument("model", nargs="?", default="resnet50")
 
     for name in ("run", "compare"):
-        p = sub.add_parser(name, help=f"{name} scheme(s) on one workload")
+        p = sub.add_parser(name, parents=[common],
+                           help=f"{name} scheme(s) on one workload")
         p.add_argument("model")
         p.add_argument("--scheme", default="paldia",
                        choices=list(SCHEMES) + ["oracle"])
         p.add_argument("--trace", default="azure", choices=sorted(_TRACES))
         p.add_argument("--duration", type=float, default=300.0)
         p.add_argument("--seed", type=int, default=0)
+        if name == "run":
+            p.add_argument(
+                "--trace-out", metavar="FILE",
+                help="record telemetry and write the JSONL trace here",
+            )
+            p.add_argument(
+                "--chrome-trace", metavar="FILE",
+                help="record telemetry and write a Chrome trace_event "
+                "JSON (open in Perfetto / chrome://tracing)",
+            )
+            p.add_argument(
+                "--profile-engine", action="store_true",
+                help="profile event-dispatch wall-clock per callback site",
+            )
 
-    p = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p = sub.add_parser("experiment", parents=[common],
+                       help="regenerate a paper figure/table")
     p.add_argument("experiment_id", choices=sorted(_EXPERIMENTS) + ["ablations"])
     p.add_argument("--duration", type=float, default=300.0)
     p.add_argument("--repetitions", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("list", help="show models, schemes, traces, experiments")
+    p = sub.add_parser("trace-report", parents=[common],
+                       help="post-mortem a recorded JSONL trace")
+    p.add_argument("trace_file")
+    p.add_argument("--max-rows", type=int, default=30,
+                   help="decision-audit rows to show")
+
+    sub.add_parser("list", parents=[common],
+                   help="show models, schemes, traces, experiments")
     return parser
 
 
 def _cmd_profiles(args) -> int:
-    print(table2.run(profile_model=args.model).rendered())
+    emit(table2.run(profile_model=args.model).rendered())
     return 0
 
 
-def _run_one(scheme: str, model, trace, profiles, slo):
+def _run_one(scheme: str, model, trace, profiles, slo, sim=None, tracer=None):
+    logger.debug("running scheme %s on %s (%d requests)",
+                 scheme, model.name, trace.n_requests)
     policy = make_policy(scheme, model, profiles, slo.target_seconds, trace)
-    return ServerlessRun(model, trace, policy, profiles, slo).execute()
+    return ServerlessRun(
+        model, trace, policy, profiles, slo, sim=sim, tracer=tracer
+    ).execute()
 
 
 def _cmd_run(args) -> int:
@@ -128,8 +209,14 @@ def _cmd_run(args) -> int:
     profiles = ProfileService()
     slo = SLO()
     trace = _TRACES[args.trace](model, args.duration, args.seed)
-    result = _run_one(args.scheme, model, trace, profiles, slo)
-    print(
+    tracing = bool(args.trace_out or args.chrome_trace)
+    tracer = Tracer() if tracing else None
+    profiler = EngineProfiler() if args.profile_engine else None
+    sim = Simulator(profiler=profiler) if profiler is not None else None
+    result = _run_one(
+        args.scheme, model, trace, profiles, slo, sim=sim, tracer=tracer
+    )
+    emit(
         render_kv(
             {
                 "scheme": scheme_label(args.scheme),
@@ -145,6 +232,21 @@ def _cmd_run(args) -> int:
             title="run result",
         )
     )
+    if tracer is not None:
+        emit("")
+        emit(render_kv(summary_counts(tracer), title="telemetry"))
+        if args.trace_out:
+            n = write_jsonl(tracer, args.trace_out)
+            emit(f"wrote {n} JSONL records to {args.trace_out}")
+        if args.chrome_trace:
+            n = write_chrome_trace(tracer, args.chrome_trace)
+            emit(
+                f"wrote {n} trace events to {args.chrome_trace} "
+                "(open in https://ui.perfetto.dev)"
+            )
+    if profiler is not None:
+        emit("")
+        emit(profiler.rendered())
     return 0
 
 
@@ -165,7 +267,7 @@ def _cmd_compare(args) -> int:
                 r.n_switches,
             ]
         )
-    print(
+    emit(
         render_table(
             ["scheme", "slo_%", "p99_ms", "cost_$", "switches"],
             rows,
@@ -179,31 +281,52 @@ def _cmd_compare(args) -> int:
 def _cmd_experiment(args) -> int:
     if args.experiment_id == "ablations":
         for report in ablations.run(duration=args.duration):
-            print(report.rendered())
-            print()
+            emit(report.rendered())
+            emit("")
         return 0
-    print(_EXPERIMENTS[args.experiment_id](args).rendered())
+    emit(_EXPERIMENTS[args.experiment_id](args).rendered())
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    try:
+        report = render_trace_report(
+            args.trace_file, max_decision_rows=args.max_rows
+        )
+    except FileNotFoundError:
+        logger.error("trace file not found: %s", args.trace_file)
+        return 1
+    except ValueError as exc:
+        logger.error("not a valid trace file: %s", exc)
+        return 1
+    emit(report)
     return 0
 
 
 def _cmd_list(args) -> int:
-    print("models:")
+    lines = ["models:"]
     for m in ALL_MODELS:
-        print(f"  {m.name:20s} {m.domain:8s} peak {m.peak_rps:.0f} rps")
-    print("\nschemes:", ", ".join(list(SCHEMES) + ["oracle"]))
-    print("traces:", ", ".join(sorted(_TRACES)))
-    print("experiments:", ", ".join(sorted(_EXPERIMENTS) + ["ablations"]))
+        lines.append(f"  {m.name:20s} {m.domain:8s} peak {m.peak_rps:.0f} rps")
+    lines.append("")
+    lines.append("schemes: " + ", ".join(list(SCHEMES) + ["oracle"]))
+    lines.append("traces: " + ", ".join(sorted(_TRACES)))
+    lines.append(
+        "experiments: " + ", ".join(sorted(_EXPERIMENTS) + ["ablations"])
+    )
+    emit("\n".join(lines))
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "verbose", False))
     handler = {
         "profiles": _cmd_profiles,
         "run": _cmd_run,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "trace-report": _cmd_trace_report,
         "list": _cmd_list,
     }[args.command]
     return handler(args)

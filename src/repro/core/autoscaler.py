@@ -22,6 +22,7 @@ from repro.core.predictor import RatePredictor
 from repro.hardware.catalog import HardwareSpec
 from repro.hardware.profiles import ProfileService
 from repro.simulator.containers import ContainerPool
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.models import ModelSpec
 
 __all__ = ["Autoscaler", "containers_for_split"]
@@ -75,12 +76,24 @@ class Autoscaler:
         self.keep_alive_seconds = float(keep_alive_seconds)
         self.interval_seconds = float(interval_seconds)
         self.plan_horizon_seconds = float(plan_horizon_seconds)
+        #: Decision-audit sink (bound by the framework when tracing).
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def reactive(self, pool: ContainerPool, n_containers: int) -> int:
         """Ensure the pool can serve a dispatch needing ``n_containers``;
         returns the number of cold starts initiated."""
-        return pool.ensure(n_containers)
+        spawned = pool.ensure(n_containers)
+        if spawned and self.tracer.enabled:
+            self.tracer.event(
+                "autoscaler.reactive_scale_up",
+                pool.sim.now,
+                cat="decision",
+                needed=int(n_containers),
+                spawned=spawned,
+                n_total=pool.n_total,
+            )
+        return spawned
 
     def predictive(
         self, pool: ContainerPool, hw: HardwareSpec, now: float
@@ -102,4 +115,26 @@ class Autoscaler:
         """One predictive-scaling interval: pre-warm then reap."""
         spawned = self.predictive(pool, hw, now)
         reaped = self.reap(pool)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "autoscaler.tick",
+                now,
+                cat="decision",
+                hardware=hw.name,
+                spawned=spawned,
+                reaped=reaped,
+                warm_idle=pool.n_warm_idle,
+                busy=pool.n_busy,
+                spawning=pool.n_spawning,
+                waiting=pool.n_waiting,
+            )
+            if reaped:
+                self.tracer.event(
+                    "autoscaler.delayed_termination",
+                    now,
+                    cat="decision",
+                    reaped=reaped,
+                    keep_alive_seconds=self.keep_alive_seconds,
+                    n_total=pool.n_total,
+                )
         return {"spawned": spawned, "reaped": reaped}

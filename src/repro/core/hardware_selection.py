@@ -27,6 +27,7 @@ from repro.core.model import SplitDecision, cpu_t_max, optimal_split
 from repro.core.predictor import RatePredictor
 from repro.hardware.catalog import HardwareSpec
 from repro.hardware.profiles import ProfileService
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.models import ModelSpec
 
 __all__ = ["CandidateEvaluation", "SelectionOutcome", "HardwareSelector"]
@@ -115,6 +116,9 @@ class HardwareSelector:
         self.contention_for: Callable[[HardwareSpec], float] = lambda hw: 1.0
         self._wait_ctr = 0
         self.switches_requested = 0
+        #: Decision-audit sink; every tick emits a
+        #: ``hardware_selection.tick`` event when tracing is enabled.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Candidate evaluation (the par_for body of Algorithm 1)
@@ -246,6 +250,7 @@ class HardwareSelector:
         chosen = self.choose_best(evaluations)
 
         switch = False
+        emergency = False
         if current_hw is None or chosen.name != current_hw.name:
             self._wait_ctr += 1
             escalating = (
@@ -271,10 +276,38 @@ class HardwareSelector:
             limit = self.wait_limit if escalating else self.wait_limit_down
             if current_hw is None or emergency or self._wait_ctr >= limit:
                 switch = True
-                self._wait_ctr = 0
-                self.switches_requested += 1
         else:
             self._wait_ctr = 0
+        if self.tracer.enabled:
+            # The full Algorithm 1 audit row: candidate table, hysteresis
+            # state *before* any post-switch reset, and the verdict.
+            self.tracer.event(
+                "hardware_selection.tick",
+                now,
+                cat="decision",
+                predicted_rps=rate,
+                n_future=n_future,
+                backlog=backlog,
+                current=current_hw.name if current_hw is not None else None,
+                chosen=chosen.name,
+                switch_requested=switch,
+                emergency=emergency,
+                wait_ctr=self._wait_ctr,
+                wait_limit=self.wait_limit,
+                wait_limit_down=self.wait_limit_down,
+                candidates=[
+                    {
+                        "hw": e.hw.name,
+                        "least_t_max": e.least_t_max,
+                        "best_y": e.best_y,
+                        "cost_per_hour": e.cost,
+                    }
+                    for e in evaluations
+                ],
+            )
+        if switch:
+            self._wait_ctr = 0
+            self.switches_requested += 1
         return SelectionOutcome(
             chosen=chosen,
             evaluations=evaluations,

@@ -77,6 +77,10 @@ class PaldiaPolicy(Policy):
         self.latency_budget_fraction = float(latency_budget_fraction)
         self.occupancy_cap_knees = float(occupancy_cap_knees)
 
+    def bind_tracer(self, tracer) -> None:
+        super().bind_tracer(tracer)
+        self.selector.tracer = tracer
+
     # ------------------------------------------------------------------
     def observe_rate(self, rate_rps: float, now: float) -> None:
         self.predictor.observe(rate_rps, now)
@@ -141,6 +145,21 @@ class PaldiaPolicy(Policy):
             * self.profiles.interference.knee,
             solo_single=self.profiles.solo_time(self.model, hw, 1),
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "job_distribution.split",
+                now,
+                cat="decision",
+                hardware=hw.name,
+                n=n,
+                y=decision.y,
+                n_spatial=decision.n_spatial,
+                batch_size=decision.batch_size,
+                t_max=decision.t_max,
+                feasible=decision.feasible,
+                existing_fbr=existing_fbr,
+                existing_queue=existing_queue,
+            )
         spatial_sizes = carve_sizes(decision.n_spatial, batch)
         temporal_sizes = carve_sizes(decision.y, batch)
         batches = tuple(

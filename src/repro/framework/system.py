@@ -43,6 +43,7 @@ from repro.simulator.failures import FailureInjector, FailureSchedule
 from repro.simulator.job import Job
 from repro.simulator.metrics import MetricsCollector
 from repro.simulator.power import cluster_energy_joules, node_energy_joules
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.models import ModelSpec
 from repro.workloads.sebs import SebsColocator
 from repro.workloads.traces import Trace
@@ -75,6 +76,10 @@ class RunConfig:
         Inject SeBS background CPU load (Table III).
     sebs_invocation_rps:
         Aggregate rate of the co-located functions.
+    telemetry_sample_interval_seconds:
+        Cadence of the metrics sampler (queue depths, container counts,
+        GPU occupancy).  Only consulted when a tracer is enabled; a
+        disabled run schedules no sampler events at all.
     """
 
     batch_window_seconds: float = 0.075
@@ -86,6 +91,7 @@ class RunConfig:
     failure_schedule: Optional[FailureSchedule] = None
     sebs_colocation: bool = False
     sebs_invocation_rps: float = 4.0
+    telemetry_sample_interval_seconds: float = 1.0
     seed: int = 0
 
 
@@ -136,6 +142,10 @@ class ServerlessRun:
         The request SLO.
     config:
         Framework knobs.
+    tracer:
+        Telemetry sink.  Defaults to the shared disabled tracer: no spans,
+        no decision events, no sampler events — the run is bit-identical
+        to an untraced one.
     """
 
     def __init__(
@@ -148,6 +158,7 @@ class ServerlessRun:
         config: Optional[RunConfig] = None,
         sim: Optional[Simulator] = None,
         cluster: Optional[Cluster] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.model = model
         self.trace = trace
@@ -155,6 +166,7 @@ class ServerlessRun:
         self.profiles = profiles if profiles is not None else ProfileService()
         self.slo = slo if slo is not None else SLO()
         self.config = config if config is not None else RunConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         # A multi-model deployment (see MultiModelRun) passes a shared
         # simulator and cluster so every function's lane lives on one
@@ -165,9 +177,11 @@ class ServerlessRun:
             self.profiles.catalog,
             interference=self.profiles.interference,
             seed=self.config.seed,
+            tracer=self.tracer,
         )
         self.metrics = MetricsCollector()
         self.tracker = RateTracker(self.config.monitor_interval_seconds)
+        self.policy.bind_tracer(self.tracer)
         self.autoscaler = Autoscaler(
             model=model,
             profiles=self.profiles,
@@ -176,6 +190,7 @@ class ServerlessRun:
             keep_alive_seconds=self.config.keep_alive_seconds,
             interval_seconds=self.config.autoscale_interval_seconds,
         )
+        self.autoscaler.tracer = self.tracer
 
         self._current: Optional[NodeInstance] = None
         self._draining: list[NodeInstance] = []
@@ -225,6 +240,8 @@ class ServerlessRun:
     # ------------------------------------------------------------------
     def _setup(self) -> None:
         cfg = self.config
+        if self.tracer.enabled:
+            self._setup_telemetry()
         # Initial hardware, warm-started.
         hint = max(self.trace.rate_window(0.0, 10.0), 1.0)
         initial_hw = self.policy.initial_hardware(hint)
@@ -272,6 +289,7 @@ class ServerlessRun:
                 on_fail=self._on_node_failure,
                 on_recover=self._on_node_recovery,
                 horizon=self.trace.duration,
+                tracer=self.tracer,
             )
             self._failure_injector.start()
         if cfg.sebs_colocation:
@@ -282,6 +300,84 @@ class ServerlessRun:
             )
             self._sebs.attach(self._current)
             self._sebs.start()
+
+    # ------------------------------------------------------------------
+    # Telemetry (only reached when the tracer is enabled)
+    # ------------------------------------------------------------------
+    def _setup_telemetry(self) -> None:
+        """Register the sim-time gauges and start the sampler loop."""
+        self.tracer.meta.update(
+            {
+                "scheme": self.policy.name,
+                "model": self.model.name,
+                "slo_seconds": self.slo.target_seconds,
+                "trace_duration": self.trace.duration,
+                "n_requests": self.trace.n_requests,
+                "seed": self.config.seed,
+            }
+        )
+        reg = self.tracer.metrics
+        reg.histogram("request.latency_seconds")
+
+        def current(attr_fn, default=0.0):
+            def read():
+                node = self._current
+                if node is None or not node.available:
+                    return default
+                return attr_fn(node)
+            return read
+
+        reg.gauge(
+            "queue.device_requests",
+            current(lambda n: n.device.queued_requests()),
+        )
+        reg.gauge("queue.pending_windows", lambda: len(self._pending_windows))
+        pool = lambda n: n.pool(self.model.name)
+        reg.gauge("containers.warm_idle", current(lambda n: pool(n).n_warm_idle))
+        reg.gauge("containers.spawning", current(lambda n: pool(n).n_spawning))
+        reg.gauge("containers.busy", current(lambda n: pool(n).n_busy))
+        reg.gauge("containers.waiting", current(lambda n: pool(n).n_waiting))
+        reg.gauge(
+            "jobs.active_spatial",
+            current(lambda n: getattr(n.device, "n_active_spatial", 0)),
+        )
+        reg.gauge(
+            "jobs.active_temporal",
+            current(
+                lambda n: getattr(n.device, "n_active_temporal", n.device.n_active)
+            ),
+        )
+        reg.gauge(
+            "gpu.total_fbr", current(lambda n: getattr(n.device, "total_fbr", 0.0))
+        )
+        reg.gauge(
+            "gpu.mem_used_gb",
+            current(lambda n: getattr(n.device, "mem_used_gb", 0.0)),
+        )
+        reg.gauge(
+            "cold_starts.total",
+            lambda: sum(
+                p.cold_starts
+                for node in self.cluster.nodes
+                if node.node_id in self._owned_node_ids
+                for p in node.pools().values()
+            ),
+        )
+        self.sim.schedule(
+            self.config.telemetry_sample_interval_seconds,
+            self._telemetry_tick,
+            priority=90,
+        )
+
+    def _telemetry_tick(self) -> None:
+        now = self.sim.now
+        self.tracer.metrics.sample(now)
+        if now < self.trace.duration + self.config.drain_grace_seconds:
+            self.sim.schedule(
+                self.config.telemetry_sample_interval_seconds,
+                self._telemetry_tick,
+                priority=90,
+            )
 
     # ------------------------------------------------------------------
     # Dispatch path
@@ -376,6 +472,11 @@ class ServerlessRun:
         def on_complete(job: Job) -> None:
             pool.release()
             self.metrics.record_batch(batch)
+            if self.tracer.enabled:
+                self.tracer.record_batch_span(batch)
+                self.tracer.metrics.histogram("request.latency_seconds").observe(
+                    float(batch.completed_at) - batch.first_arrival
+                )
 
         def on_evict(job: Job) -> None:
             pool.release()
@@ -449,6 +550,16 @@ class ServerlessRun:
         self._reconfig_target = desired
         self.n_switches += 1
         instant = self.policy.instant_switch
+        if self.tracer.enabled:
+            self.tracer.event(
+                "reconfig.request",
+                self.sim.now,
+                cat="decision",
+                generation=gen,
+                current=self._current.spec.name if self._current else None,
+                desired=desired.name,
+                instant=instant,
+            )
 
         def on_ready(node: NodeInstance) -> None:
             if gen != self._reconfig_gen:
@@ -492,6 +603,15 @@ class ServerlessRun:
         self.switch_log.append(
             (self.sim.now, old.spec.name if old else "-", node.spec.name)
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "reconfig.switch",
+                self.sim.now,
+                cat="decision",
+                from_hw=old.spec.name if old else None,
+                to_hw=node.spec.name,
+                node_id=node.node_id,
+            )
         if self._sebs is not None:
             self._sebs.attach(node)
         if old is not None and old.available:
@@ -658,6 +778,31 @@ class ServerlessRun:
             for node, _ in owned
             for pool in node.pools().values()
         )
+        if self.tracer.enabled:
+            # Leases still open at run end never saw a release; close
+            # their spans here so the trace timeline covers every node.
+            for node, lease in owned:
+                if lease.end is None:
+                    self.tracer.span(
+                        f"lease:{lease.spec.name}",
+                        lease.start,
+                        now,
+                        cat="lease",
+                        track="leases",
+                        hardware=lease.spec.name,
+                        node_id=node.node_id,
+                        cost=lease.cost(now),
+                        open_at_end=True,
+                    )
+            self.tracer.meta.update(
+                {
+                    "completed_requests": completed,
+                    "offered_requests": offered,
+                    "total_cost": cost,
+                    "n_switches": self.n_switches,
+                    "engine_dispatches": self.sim.n_dispatched,
+                }
+            )
         slo_s = self.slo.target_seconds
         return RunResult(
             scheme=self.policy.name,

@@ -24,6 +24,7 @@ from repro.simulator.cpu import CPUDevice
 from repro.simulator.engine import Simulator
 from repro.simulator.gpu import GPUDevice
 from repro.simulator.interference import DEFAULT_INTERFERENCE, InterferenceModel
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["NodeInstance", "Cluster", "LeaseRecord"]
 
@@ -123,10 +124,12 @@ class Cluster:
         catalog: HardwareCatalog,
         interference: InterferenceModel = DEFAULT_INTERFERENCE,
         seed: int = 0,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.catalog = catalog
         self.interference = interference
+        self.tracer = tracer
         self._root_rng = np.random.default_rng(seed)
         self.leases: list[LeaseRecord] = []
         self._active_leases: dict[int, LeaseRecord] = {}
@@ -158,6 +161,17 @@ class Cluster:
         lease = LeaseRecord(spec=spec, start=self.sim.now)
         self.leases.append(lease)
         self._active_leases[node.node_id] = lease
+        if self.tracer.enabled:
+            self.tracer.event(
+                "node.acquire",
+                self.sim.now,
+                cat="lease",
+                track="cluster",
+                hardware=spec.name,
+                node_id=node.node_id,
+                instant=bool(instant),
+                provision_seconds=spec.provision_seconds,
+            )
         if instant or spec.provision_seconds <= 0:
             on_ready(node)
         else:
@@ -170,6 +184,28 @@ class Cluster:
         if lease is None:
             raise ValueError(f"{node!r} has no active lease")
         lease.end = self.sim.now
+        if self.tracer.enabled:
+            now = self.sim.now
+            self.tracer.event(
+                "node.release",
+                now,
+                cat="lease",
+                track="cluster",
+                hardware=node.spec.name,
+                node_id=node.node_id,
+                lease_seconds=lease.duration(now),
+                lease_cost=lease.cost(now),
+            )
+            self.tracer.span(
+                f"lease:{node.spec.name}",
+                lease.start,
+                now,
+                cat="lease",
+                track="leases",
+                hardware=node.spec.name,
+                node_id=node.node_id,
+                cost=lease.cost(now),
+            )
         for pool in node.pools().values():
             pool.terminate_all()
         node.available = False

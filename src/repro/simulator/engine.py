@@ -25,9 +25,20 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from time import perf_counter
+from typing import Any, Callable, Optional, Protocol
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["Event", "Simulator", "SimulationError", "DispatchProfiler"]
+
+
+class DispatchProfiler(Protocol):
+    """What the engine needs from a profiler (see
+    :class:`repro.telemetry.profiling.EngineProfiler`).  The engine only
+    duck-types this so the hot loop stays import-free of the telemetry
+    package."""
+
+    def record(self, fn: Callable[[], None], seconds: float) -> None:
+        ...  # pragma: no cover - protocol stub
 
 
 class SimulationError(RuntimeError):
@@ -77,6 +88,11 @@ class Simulator:
     ----------
     start_time:
         Initial clock value in seconds (default 0.0).
+    profiler:
+        Optional :class:`DispatchProfiler`.  When attached, every
+        dispatched callback is timed with ``perf_counter`` and credited
+        to its callback site; when absent the hot loop pays a single
+        ``is None`` check per event.
 
     Examples
     --------
@@ -88,13 +104,22 @@ class Simulator:
     [1.5]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        profiler: Optional[DispatchProfiler] = None,
+    ) -> None:
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self.n_dispatched = 0
+        self._profiler = profiler
+
+    def set_profiler(self, profiler: Optional[DispatchProfiler]) -> None:
+        """Attach (or detach, with ``None``) a dispatch profiler."""
+        self._profiler = profiler
 
     # ------------------------------------------------------------------
     # Clock
@@ -163,7 +188,13 @@ class Simulator:
                 continue
             self._now = ev.time
             self.n_dispatched += 1
-            ev.fn()
+            prof = self._profiler
+            if prof is None:
+                ev.fn()
+            else:
+                t0 = perf_counter()
+                ev.fn()
+                prof.record(ev.fn, perf_counter() - t0)
             return True
         return False
 

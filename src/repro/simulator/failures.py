@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.simulator.engine import Simulator
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 __all__ = ["FailureSchedule", "FailureInjector"]
 
@@ -64,6 +65,9 @@ class FailureInjector:
         ``on_recover`` may switch back.
     horizon:
         Stop injecting past this time (end of trace).
+    tracer:
+        Decision-audit sink; each injected outage emits paired
+        ``failure.inject`` / ``failure.recover`` events.
     """
 
     def __init__(
@@ -73,12 +77,14 @@ class FailureInjector:
         on_fail: Callable[[], None],
         on_recover: Callable[[], None],
         horizon: Optional[float] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.schedule = schedule
         self.on_fail = on_fail
         self.on_recover = on_recover
         self.horizon = horizon
+        self.tracer = tracer
         self.failures_injected = 0
 
     def start(self) -> None:
@@ -89,10 +95,25 @@ class FailureInjector:
         if self.horizon is not None and self.sim.now >= self.horizon:
             return
         self.failures_injected += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "failure.inject",
+                self.sim.now,
+                cat="failure",
+                outage_index=self.failures_injected,
+                downtime_seconds=self.schedule.downtime_seconds,
+            )
         self.on_fail()
         self.sim.schedule(self.schedule.downtime_seconds, self._recover)
 
     def _recover(self) -> None:
+        if self.tracer.enabled:
+            self.tracer.event(
+                "failure.recover",
+                self.sim.now,
+                cat="failure",
+                outage_index=self.failures_injected,
+            )
         self.on_recover()
         next_onset = self.schedule.period_seconds - self.schedule.downtime_seconds
         if self.horizon is None or self.sim.now + next_onset < self.horizon:

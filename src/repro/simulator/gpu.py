@@ -121,9 +121,24 @@ class GPUDevice:
         return evicted
 
     @property
+    def n_active_spatial(self) -> int:
+        """Resident jobs co-running under MPS (telemetry gauge)."""
+        return sum(1 for j in self._active if j.is_spatial)
+
+    @property
+    def n_active_temporal(self) -> int:
+        """Promoted temporal jobs currently executing (telemetry gauge)."""
+        return sum(1 for j in self._active if not j.is_spatial)
+
+    @property
     def total_fbr(self) -> float:
         """Aggregate bandwidth demand of the resident set."""
         return float(sum(j.fbr for j in self._active))
+
+    @property
+    def mem_used_gb(self) -> float:
+        """Device memory held by the resident set (telemetry gauge)."""
+        return self._mem_used
 
     @property
     def mem_free_gb(self) -> float:

@@ -1,0 +1,67 @@
+"""Telemetry: tracing, metrics, and decision auditing for the simulator.
+
+The reproduction's evaluation hinges on *why* the control plane behaves as
+it does — which hardware Algorithm 1 picked each tick, how hysteresis
+delayed switches, how Equation (1) divided a burst, and where each
+request's latency actually went.  This package records the path taken:
+
+* :class:`~repro.telemetry.tracer.Tracer` — per-request **spans** (arrival
+  → batching → dispatch → cold start → execution → completion) and
+  per-component **decision events** (hardware-selection ticks with their
+  full candidate tables, y-split choices, autoscaler actions, failure
+  injections, node leases).
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — sim-time counters,
+  gauges, and histograms sampled on a configurable interval.
+* :mod:`~repro.telemetry.exporters` — JSONL and Chrome ``trace_event``
+  output (opens directly in Perfetto / ``chrome://tracing``).
+* :class:`~repro.telemetry.profiling.EngineProfiler` — per-callback-site
+  wall-clock profiling of the discrete-event hot loop.
+
+Everything is **zero-overhead when disabled**: the shared
+:data:`NULL_TRACER` singleton short-circuits on a single attribute check,
+no sampler events are scheduled, and the engine hot loop performs one
+``is None`` test.  A run with tracing disabled is bit-identical to one
+without the telemetry layer at all.
+"""
+
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    SpanRecord,
+    TraceEventRecord,
+    Tracer,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.profiling import EngineProfiler
+from repro.telemetry.exporters import (
+    TraceData,
+    read_jsonl,
+    summary_counts,
+    to_chrome_trace,
+    to_jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "EngineProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "SpanRecord",
+    "TraceData",
+    "TraceEventRecord",
+    "Tracer",
+    "read_jsonl",
+    "summary_counts",
+    "to_chrome_trace",
+    "to_jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,167 @@
+"""Sim-time metrics: counters, gauges, histograms, and interval sampling.
+
+Instruments live in a :class:`MetricsRegistry`.  Counters and histograms
+are pushed to by the instrumented code; gauges pull their value from a
+callback at sample time (queue depths, warm-container counts, GPU
+occupancy — state that already exists and should not be shadow-copied on
+the hot path).  ``sample(now)`` snapshots every instrument into one row;
+the framework drives it from a simulator event on a configurable
+interval, but only when tracing is enabled, so a disabled run schedules
+nothing.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (cold starts, dispatches, ...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time reading, pulled from ``fn`` at sample time."""
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Push a value (for gauges without a callback)."""
+        self._value = float(value)
+
+    def read(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (latencies, batch sizes).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    overflow bucket catches everything above the last bound.
+    """
+
+    DEFAULT_BOUNDS: tuple[float, ...] = (
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+        0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    )
+
+    def __init__(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> None:
+        self.name = name
+        bs = tuple(bounds) if bounds is not None else self.DEFAULT_BOUNDS
+        if list(bs) != sorted(bs) or len(set(bs)) != len(bs):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = bs
+        self.counts = [0] * (len(bs) + 1)
+        self.n = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.n += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.n if self.n else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (upper bound of the bucket holding
+        the ``q``-th observation; the overflow bucket reports ``inf``)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.n == 0:
+            return 0.0
+        target = max(1, int(round(q * self.n)))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")  # pragma: no cover - unreachable
+
+
+class MetricsRegistry:
+    """Creates/holds instruments and accumulates interval samples."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        #: One row per sample tick: ``{"t": now, "<name>": value, ...}``.
+        self.samples: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Instrument registration (idempotent by name)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(
+        self, name: str, fn: Optional[Callable[[], float]] = None
+    ) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            g._fn = fn  # rebinding: the current node changed
+        return g
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram(name, bounds)
+            return h
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, now: float) -> dict[str, Any]:
+        """Snapshot every counter and gauge into one timestamped row."""
+        row: dict[str, Any] = {"t": float(now)}
+        for name, c in self._counters.items():
+            row[name] = c.value
+        for name, g in self._gauges.items():
+            row[name] = g.read()
+        self.samples.append(row)
+        return row
+
+    def histogram_summaries(self) -> dict[str, dict[str, float]]:
+        """Per-histogram ``{n, mean, p50, p99}`` summaries."""
+        return {
+            name: {
+                "n": float(h.n),
+                "mean": h.mean,
+                "p50": h.quantile(0.50),
+                "p99": h.quantile(0.99),
+            }
+            for name, h in self._histograms.items()
+        }
+
+    @property
+    def metric_names(self) -> list[str]:
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )

@@ -41,3 +41,59 @@ class TestCommands:
     def test_experiment_table2(self, capsys):
         assert main(["experiment", "table2"]) == 0
         assert "g3s.xlarge" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_trace_out_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "resnet50", "--trace-out", "x.jsonl"]
+        )
+        assert args.trace_out == "x.jsonl"
+        assert args.chrome_trace is None
+        assert args.profile_engine is False
+
+    def test_verbose_flag_on_subcommand(self):
+        assert build_parser().parse_args(["list", "-v"]).verbose is True
+        assert build_parser().parse_args(["list"]).verbose is False
+
+    def test_traced_run_writes_both_exports(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.json"
+        assert main([
+            "run", "resnet50", "--trace", "poisson", "--duration", "10",
+            "--trace-out", str(jsonl), "--chrome-trace", str(chrome),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out and "wrote" in out
+        assert jsonl.exists() and chrome.exists()
+
+    def test_trace_report_roundtrip(self, capsys, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        assert main([
+            "run", "resnet50", "--trace", "poisson", "--duration", "10",
+            "--trace-out", str(jsonl),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "latency breakdown" in out
+        assert "hardware-selection audit" in out
+
+    def test_trace_report_missing_file_is_clean_error(self, capsys):
+        assert main(["trace-report", "/nonexistent/run.jsonl"]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_trace_report_garbage_file_is_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace-report", str(bad)]) == 1
+        assert "not a valid trace file" in capsys.readouterr().out
+
+    def test_profile_engine_prints_sites(self, capsys):
+        assert main([
+            "run", "resnet50", "--trace", "poisson", "--duration", "10",
+            "--profile-engine",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine profile" in out
+        assert "dispatches" in out

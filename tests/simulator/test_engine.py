@@ -123,6 +123,118 @@ class TestCancellation:
         assert sim.pending() == 1
 
 
+class TestEdgeCases:
+    def test_priority_then_seq_ordering(self, sim):
+        # Full (time, priority, seq) contract in one schedule: priority
+        # groups fire low-to-high, FIFO by seq within each group.
+        order = []
+        sim.schedule(1.0, lambda: order.append("p10a"), priority=10)
+        sim.schedule(1.0, lambda: order.append("p0a"), priority=0)
+        sim.schedule(1.0, lambda: order.append("p10b"), priority=10)
+        sim.schedule(1.0, lambda: order.append("p0b"), priority=0)
+        sim.run()
+        assert order == ["p0a", "p0b", "p10a", "p10b"]
+
+    def test_cancelled_event_not_counted_as_dispatched(self, sim):
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        sim.run()
+        assert sim.n_dispatched == 1
+
+    def test_cancel_from_within_callback(self, sim):
+        fired = []
+        later = sim.schedule(2.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: later.cancel())
+        sim.run()
+        assert fired == []
+
+    def test_past_schedule_inside_callback_raises(self, sim):
+        errors = []
+
+        def go_back():
+            try:
+                sim.schedule_at(sim.now - 1.0, lambda: None)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(5.0, go_back)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_reentrant_run_rejected(self, sim):
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+
+class _Recorder:
+    """Minimal DispatchProfiler: remembers every (fn, seconds) pair."""
+
+    def __init__(self):
+        self.calls = []
+
+    def record(self, fn, seconds):
+        self.calls.append((fn, seconds))
+
+
+class TestProfilerHook:
+    def test_profiler_sees_every_dispatch(self):
+        prof = _Recorder()
+        sim = Simulator(profiler=prof)
+        for i in range(3):
+            sim.schedule(i + 1.0, lambda: None)
+        sim.run()
+        assert len(prof.calls) == 3
+        assert all(seconds >= 0.0 for _, seconds in prof.calls)
+
+    def test_profiler_never_sees_cancelled_events(self):
+        prof = _Recorder()
+        sim = Simulator(profiler=prof)
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        sim.run()
+        assert len(prof.calls) == 1
+
+    def test_profiler_receives_the_callback_itself(self):
+        prof = _Recorder()
+        sim = Simulator(profiler=prof)
+
+        def callback():
+            pass
+
+        sim.schedule(1.0, callback)
+        sim.run()
+        assert prof.calls[0][0] is callback
+
+    def test_set_profiler_attach_and_detach(self, sim):
+        prof = _Recorder()
+        sim.set_profiler(prof)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.set_profiler(None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert len(prof.calls) == 1
+
+    def test_unprofiled_run_unaffected(self):
+        # The default (no profiler) path must behave exactly as before.
+        fired = []
+        sim = Simulator()
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0] and sim.n_dispatched == 1
+
+
 class TestRunUntil:
     def test_run_until_stops_before_later_events(self, sim):
         fired = []

@@ -1,0 +1,55 @@
+"""Tests for the per-callback-site engine profiler."""
+
+from repro.simulator.engine import Simulator
+from repro.telemetry import EngineProfiler
+
+
+def tick():
+    pass
+
+
+class TestEngineProfiler:
+    def test_sites_aggregate_by_qualname(self):
+        prof = EngineProfiler()
+        prof.record(tick, 0.001)
+        prof.record(tick, 0.002)
+        ((site, count, total_ms, mean_us),) = prof.rows()
+        assert site.endswith("test_profiling.tick")
+        assert count == 2
+        assert total_ms == 3.0
+        assert mean_us == 1500.0
+
+    def test_closures_from_one_site_share_a_row(self):
+        # The framework schedules fresh lambdas per event; they must fold
+        # into one row or the profile is unreadable.
+        prof = EngineProfiler()
+
+        def make(i):
+            return lambda: i
+
+        prof.record(make(1), 0.001)
+        prof.record(make(2), 0.001)
+        assert len(prof.rows()) == 1
+        assert prof.rows()[0][1] == 2
+
+    def test_rows_hottest_first(self):
+        prof = EngineProfiler()
+        prof.record(tick, 0.001)
+        prof.record(len, 0.010)
+        rows = prof.rows()
+        assert rows[0][2] >= rows[1][2]
+
+    def test_integrates_with_simulator(self):
+        prof = EngineProfiler()
+        sim = Simulator(profiler=prof)
+        for i in range(5):
+            sim.schedule(i + 1.0, lambda: None)
+        sim.run()
+        assert sum(count for _, count, _, _ in prof.rows()) == 5
+
+    def test_rendered_report(self):
+        prof = EngineProfiler()
+        prof.record(tick, 0.001)
+        text = prof.rendered()
+        assert "engine profile" in text
+        assert "test_profiling.tick" in text
