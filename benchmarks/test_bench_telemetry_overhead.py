@@ -14,9 +14,11 @@ same process and moment, not calibrated statistics.
 
 from time import perf_counter
 
+import numpy as np
+
 from repro.experiments.schemes import make_policy
 from repro.framework.slo import SLO
-from repro.framework.system import ServerlessRun
+from repro.framework.system import RunConfig, ServerlessRun
 from repro.hardware.profiles import ProfileService
 from repro.simulator.engine import Simulator
 from repro.telemetry import NULL_TRACER, Tracer
@@ -27,13 +29,15 @@ DURATION = 60.0
 ROUNDS = 5
 
 
-def run_once(tracer):
+def run_once(tracer, config=None):
     model = get_model("resnet50")
     profiles = ProfileService()
     slo = SLO()
     trace = poisson_trace(rate_rps=model.peak_rps, duration=DURATION, seed=0)
     policy = make_policy("paldia", model, profiles, slo.target_seconds, trace)
-    run = ServerlessRun(model, trace, policy, profiles, slo, tracer=tracer)
+    run = ServerlessRun(
+        model, trace, policy, profiles, slo, config=config, tracer=tracer
+    )
     return run.execute()
 
 
@@ -62,8 +66,13 @@ def best_of_paired(fn_a, fn_b, rounds=ROUNDS):
 
 
 def test_traced_run_within_10_percent():
+    # Tracing proper: spans + decision events + metric sampling.  The SLO
+    # monitor is a separate subsystem with its own budget test below.
     untraced, traced = best_of_paired(
-        lambda: run_once(None), lambda: run_once(Tracer())
+        lambda: run_once(None),
+        lambda: run_once(
+            Tracer(), config=RunConfig(slo_monitor_window_seconds=0.0)
+        ),
     )
     ratio = traced / untraced
     print(f"\nuntraced {untraced * 1e3:.1f} ms, traced {traced * 1e3:.1f} ms, "
@@ -110,3 +119,35 @@ def test_disabled_tracer_schedules_no_sampler_events():
         result_disabled.metrics.completed_requests()
         == result_untraced.metrics.completed_requests()
     )
+
+
+def test_disabled_slo_monitor_leaves_run_bit_identical():
+    # The monitor is a pure observer: switching it off (window <= 0) on a
+    # traced run changes nothing but the slo_alert events; an untraced
+    # run never constructs one at all.
+    with_monitor = run_once(Tracer())
+    without_monitor = run_once(
+        Tracer(), config=RunConfig(slo_monitor_window_seconds=0.0)
+    )
+    untraced = run_once(None)
+    for a, b in ((with_monitor, without_monitor),
+                 (without_monitor, untraced)):
+        assert a.total_cost == b.total_cost
+        assert a.n_switches == b.n_switches
+        assert np.array_equal(a.metrics.latencies(), b.metrics.latencies())
+
+
+def test_slo_monitor_overhead_within_budget():
+    # The monitor rides the existing telemetry tick with O(1) running
+    # totals per window (p99 only on alert transitions); same 10% budget
+    # as tracing itself.
+    without, with_monitor = best_of_paired(
+        lambda: run_once(
+            Tracer(), config=RunConfig(slo_monitor_window_seconds=0.0)
+        ),
+        lambda: run_once(Tracer()),
+    )
+    ratio = with_monitor / without
+    print(f"\nmonitor off {without * 1e3:.1f} ms, on "
+          f"{with_monitor * 1e3:.1f} ms, ratio {ratio:.3f}")
+    assert ratio <= 1.10

@@ -1,6 +1,22 @@
-"""Analysis: statistics, tail breakdowns, and report rendering."""
+"""Analysis: statistics, breakdowns, attribution, diffing, rendering."""
 
+from repro.analysis.attribution import (
+    ATTRIBUTION_CAUSES,
+    AttributionReport,
+    CounterfactualVerdict,
+    ViolationRecord,
+    attribute_trace,
+    render_attribution_html,
+    render_attribution_report,
+    write_attribution_json,
+)
 from repro.analysis.breakdown import TailBreakdown, tail_breakdown_of
+from repro.analysis.trace_diff import (
+    PhaseDelta,
+    TraceDiff,
+    diff_traces,
+    render_trace_diff,
+)
 from repro.analysis.report import (
     SCHEME_LABELS,
     format_value,
@@ -33,10 +49,14 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
-    "BREAKDOWN_COMPONENTS", "RunSummary", "SCHEME_LABELS", "TailBreakdown",
+    "ATTRIBUTION_CAUSES", "AttributionReport", "BREAKDOWN_COMPONENTS",
+    "CounterfactualVerdict", "PhaseDelta", "RunSummary", "SCHEME_LABELS",
+    "TailBreakdown", "TraceDiff", "ViolationRecord", "attribute_trace",
     "breakdown_totals", "cdf_points", "compliance_percent", "decision_rows",
-    "drop_outliers", "format_value", "hardware_timeline", "load_trace",
-    "mean_without_outliers", "normalize", "percentile", "rate_sparkline",
-    "render_kv", "render_run_timeline", "render_table", "render_trace_report",
-    "scheme_label", "summarize_runs", "switch_rows", "tail_breakdown_of",
+    "diff_traces", "drop_outliers", "format_value", "hardware_timeline",
+    "load_trace", "mean_without_outliers", "normalize", "percentile",
+    "rate_sparkline", "render_attribution_html", "render_attribution_report",
+    "render_kv", "render_run_timeline", "render_table", "render_trace_diff",
+    "render_trace_report", "scheme_label", "summarize_runs", "switch_rows",
+    "tail_breakdown_of", "write_attribution_json",
 ]

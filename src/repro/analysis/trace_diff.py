@@ -1,0 +1,218 @@
+"""Trace diffing: per-phase latency and per-cause violation regression.
+
+The benchmark trajectory's regression tool: compare two JSONL traces — a
+baseline run and a candidate run (new scheduler parameters, a code
+change, different hardware availability) — and report what moved:
+
+* **per-phase latency deltas** — each breakdown component's total and
+  per-request mean across all request spans;
+* **per-cause violation deltas** — violating-span counts by dominant
+  cause (from :mod:`repro.analysis.attribution`), so "we traded
+  queueing misses for cold-start misses" is visible at a glance;
+* headline deltas — request counts, attainment, p99-style worst span.
+
+A trace diffed against itself reports zero deltas everywhere (asserted
+by ``tests/analysis/test_trace_diff.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from repro.analysis.attribution import ATTRIBUTION_CAUSES, attribute_trace
+from repro.analysis.report import render_kv, render_table
+from repro.analysis.trace_report import (
+    BREAKDOWN_COMPONENTS,
+    breakdown_totals,
+    load_trace,
+)
+from repro.telemetry.exporters import TraceData
+
+__all__ = ["PhaseDelta", "TraceDiff", "diff_traces", "render_trace_diff"]
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One breakdown component's movement between the two traces."""
+
+    component: str
+    baseline_total: float
+    candidate_total: float
+    baseline_mean: float  # per-request mean, seconds
+    candidate_mean: float
+
+    @property
+    def total_delta(self) -> float:
+        return self.candidate_total - self.baseline_total
+
+    @property
+    def mean_delta(self) -> float:
+        return self.candidate_mean - self.baseline_mean
+
+
+@dataclass
+class TraceDiff:
+    """The full comparison of two traces."""
+
+    baseline_meta: dict[str, Any]
+    candidate_meta: dict[str, Any]
+    slo_seconds: float
+    baseline_requests: int
+    candidate_requests: int
+    baseline_attainment: float
+    candidate_attainment: float
+    baseline_worst_span_seconds: float
+    candidate_worst_span_seconds: float
+    phases: list[PhaseDelta]
+    #: cause -> (baseline violating spans, candidate violating spans).
+    violations_by_cause: dict[str, tuple[int, int]]
+
+    @property
+    def attainment_delta(self) -> float:
+        return self.candidate_attainment - self.baseline_attainment
+
+    @property
+    def is_zero(self) -> bool:
+        """True when nothing moved (self-diff / identical runs)."""
+        return (
+            self.baseline_requests == self.candidate_requests
+            and self.attainment_delta == 0.0
+            and all(
+                p.total_delta == 0.0 and p.mean_delta == 0.0
+                for p in self.phases
+            )
+            and all(b == c for b, c in self.violations_by_cause.values())
+        )
+
+
+def _worst_span(data: TraceData) -> float:
+    spans = data.spans_in("request")
+    if not spans:
+        return 0.0
+    return max(
+        float(s.get("end", 0.0)) - float(s.get("start", 0.0)) for s in spans
+    )
+
+
+def diff_traces(
+    baseline: Union[str, TraceData],
+    candidate: Union[str, TraceData],
+    slo_seconds: Optional[float] = None,
+) -> TraceDiff:
+    """Compare two traces; ``slo_seconds`` defaults to the baseline's
+    recorded SLO (both traces are judged against the same deadline so the
+    violation deltas are apples-to-apples)."""
+    base = load_trace(baseline)
+    cand = load_trace(candidate)
+    if slo_seconds is None:
+        slo_seconds = base.meta.get("slo_seconds") or cand.meta.get(
+            "slo_seconds"
+        )
+    if slo_seconds is None:
+        raise ValueError(
+            "neither trace meta carries slo_seconds; pass it explicitly"
+        )
+    slo_seconds = float(slo_seconds)
+
+    base_bd = breakdown_totals(base)
+    cand_bd = breakdown_totals(cand)
+    base_n = max(1.0, base_bd["n_requests"])
+    cand_n = max(1.0, cand_bd["n_requests"])
+    phases = [
+        PhaseDelta(
+            component=c,
+            baseline_total=base_bd[c],
+            candidate_total=cand_bd[c],
+            baseline_mean=base_bd[c] / base_n,
+            candidate_mean=cand_bd[c] / cand_n,
+        )
+        for c in BREAKDOWN_COMPONENTS
+    ]
+
+    base_rep = attribute_trace(base, slo_seconds=slo_seconds)
+    cand_rep = attribute_trace(cand, slo_seconds=slo_seconds)
+    by_cause: dict[str, tuple[int, int]] = {}
+    for cause in ATTRIBUTION_CAUSES:
+        b = sum(1 for v in base_rep.violations if v.dominant_cause == cause)
+        c = sum(1 for v in cand_rep.violations if v.dominant_cause == cause)
+        if b or c:
+            by_cause[cause] = (b, c)
+
+    return TraceDiff(
+        baseline_meta=dict(base.meta),
+        candidate_meta=dict(cand.meta),
+        slo_seconds=slo_seconds,
+        baseline_requests=base_rep.n_requests,
+        candidate_requests=cand_rep.n_requests,
+        baseline_attainment=base_rep.overall_attainment,
+        candidate_attainment=cand_rep.overall_attainment,
+        baseline_worst_span_seconds=_worst_span(base),
+        candidate_worst_span_seconds=_worst_span(cand),
+        phases=phases,
+        violations_by_cause=by_cause,
+    )
+
+
+def render_trace_diff(diff: TraceDiff) -> str:
+    """Terminal rendering of the comparison."""
+    parts: list[str] = []
+    parts.append(
+        render_kv(
+            {
+                "baseline": f"{diff.baseline_meta.get('scheme', '?')} / "
+                f"{diff.baseline_meta.get('model', '?')} "
+                f"(seed {diff.baseline_meta.get('seed', '?')})",
+                "candidate": f"{diff.candidate_meta.get('scheme', '?')} / "
+                f"{diff.candidate_meta.get('model', '?')} "
+                f"(seed {diff.candidate_meta.get('seed', '?')})",
+                "SLO": f"{diff.slo_seconds * 1e3:.0f} ms",
+                "requests": f"{diff.baseline_requests} -> "
+                f"{diff.candidate_requests}",
+                "attainment": f"{100 * diff.baseline_attainment:.2f}% -> "
+                f"{100 * diff.candidate_attainment:.2f}% "
+                f"({100 * diff.attainment_delta:+.2f} pp)",
+                "worst span": f"{diff.baseline_worst_span_seconds * 1e3:.1f} "
+                f"-> {diff.candidate_worst_span_seconds * 1e3:.1f} ms",
+            },
+            title="trace diff",
+        )
+    )
+    parts.append(
+        render_table(
+            ["phase", "base_total_s", "cand_total_s", "delta_s",
+             "base_mean_ms", "cand_mean_ms", "delta_ms"],
+            [
+                [
+                    p.component,
+                    round(p.baseline_total, 4),
+                    round(p.candidate_total, 4),
+                    round(p.total_delta, 4),
+                    round(p.baseline_mean * 1e3, 3),
+                    round(p.candidate_mean * 1e3, 3),
+                    round(p.mean_delta * 1e3, 3),
+                ]
+                for p in diff.phases
+            ],
+            title="per-phase latency",
+        )
+    )
+    if diff.violations_by_cause:
+        parts.append(
+            render_table(
+                ["dominant cause", "base_violations", "cand_violations",
+                 "delta"],
+                [
+                    [cause, b, c, c - b]
+                    for cause, (b, c) in sorted(
+                        diff.violations_by_cause.items()
+                    )
+                ],
+                title="violating spans by cause",
+            )
+        )
+    else:
+        parts.append("no SLO violations in either trace")
+    if diff.is_zero:
+        parts.append("traces are equivalent: zero deltas")
+    return "\n\n".join(parts)

@@ -177,6 +177,39 @@ def render_trace_report(
         )
     )
 
+    # SLO violation headline.  The deep dive (cause attribution and the
+    # counterfactual replay) lives in ``trace-attribution``; the
+    # post-mortem just says whether there is anything to dig into —
+    # including, explicitly, when there is not (empty or fully-compliant
+    # traces must not look like a tooling failure).
+    slo = data.meta.get("slo_seconds")
+    req_spans = data.spans_in("request")
+    if not req_spans:
+        parts.append("no SLO violations (no request spans recorded)")
+    elif slo is not None:
+        slo = float(slo)
+        violating = [
+            s
+            for s in req_spans
+            if float(s.get("end", 0.0)) - float(s.get("start", 0.0)) > slo
+        ]
+        if violating:
+            worst = max(
+                float(s.get("end", 0.0)) - float(s.get("start", 0.0))
+                for s in violating
+            )
+            n_req = sum(
+                int(s.get("attrs", {}).get("n", 1)) for s in violating
+            )
+            parts.append(
+                f"SLO violations: {len(violating)} spans / {n_req} requests "
+                f"(worst {worst * 1e3:.1f} ms against "
+                f"{slo * 1e3:.0f} ms) — run `trace-attribution` for cause "
+                "attribution and counterfactual replay"
+            )
+        else:
+            parts.append("no SLO violations")
+
     decisions = decision_rows(data)
     if decisions:
         shown = decisions[-max_decision_rows:]

@@ -5,10 +5,12 @@ Commands
 ``profiles [MODEL]``
     Print Table II and the profiled rows for a model.
 ``run MODEL [--scheme S] [--trace T] [--duration D] [--seed N]
-    [--trace-out F.jsonl] [--chrome-trace F.json] [--profile-engine]``
+    [--trace-out F.jsonl] [--chrome-trace F.json] [--prom-out F.prom]
+    [--profile-engine]``
     Serve one workload with one scheme and print the headline metrics;
     optionally record telemetry (spans, decision audit, metric samples)
-    to JSONL and/or Chrome ``trace_event`` format (opens in Perfetto).
+    to JSONL, Chrome ``trace_event`` format (opens in Perfetto), and/or
+    a Prometheus text-format metrics snapshot.
 ``compare MODEL [...]``
     All schemes side by side on the same trace.
 ``experiment ID [...]``
@@ -16,6 +18,13 @@ Commands
 ``trace-report FILE``
     Post-mortem a recorded JSONL trace: latency breakdown, Algorithm 1
     decision audit, switches, leases.
+``trace-attribution FILE [--slo MS] [--json F] [--html F]``
+    Attribute every SLO-violating request span to its dominant latency
+    cause and replay each violation's hardware decision against the
+    recorded candidate table (avoidable / mis-selected / unavoidable).
+``trace-diff BASELINE CANDIDATE [--slo MS]``
+    Compare two recorded traces: per-phase latency deltas and
+    per-cause violation deltas.
 ``list``
     Show available models, schemes, traces, and experiments.
 
@@ -31,7 +40,14 @@ import logging
 import sys
 from typing import Callable, Optional, Sequence
 
+from repro.analysis.attribution import (
+    attribute_trace,
+    render_attribution_html,
+    render_attribution_report,
+    write_attribution_json,
+)
 from repro.analysis.report import emit, render_kv, render_table, scheme_label
+from repro.analysis.trace_diff import diff_traces, render_trace_diff
 from repro.analysis.trace_report import render_trace_report
 from repro.experiments import (
     ablations,
@@ -60,6 +76,7 @@ from repro.telemetry import (
     summary_counts,
     write_chrome_trace,
     write_jsonl,
+    write_prometheus,
 )
 from repro.workloads.models import ALL_MODELS, get_model
 from repro.workloads.traces import (
@@ -168,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
                 "JSON (open in Perfetto / chrome://tracing)",
             )
             p.add_argument(
+                "--prom-out", metavar="FILE",
+                help="record telemetry and write a Prometheus text-format "
+                "metrics snapshot (counters, gauges, histograms, SLO "
+                "windows) taken at end of run",
+            )
+            p.add_argument(
                 "--profile-engine", action="store_true",
                 help="profile event-dispatch wall-clock per callback site",
             )
@@ -185,6 +208,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-rows", type=int, default=30,
                    help="decision-audit rows to show")
 
+    p = sub.add_parser(
+        "trace-attribution", parents=[common],
+        help="attribute SLO violations to causes + counterfactual replay",
+    )
+    p.add_argument("trace_file")
+    p.add_argument(
+        "--slo", type=float, metavar="MS", default=None,
+        help="SLO deadline in milliseconds (default: the trace's own)",
+    )
+    p.add_argument(
+        "--json", metavar="FILE", dest="json_out",
+        help="also write the machine-readable attribution report here",
+    )
+    p.add_argument(
+        "--html", metavar="FILE", dest="html_out",
+        help="also write a self-contained HTML report (inline SVG "
+        "attainment timeline, no external assets) here",
+    )
+    p.add_argument("--max-rows", type=int, default=20,
+                   help="violation rows to show in the terminal table")
+
+    p = sub.add_parser(
+        "trace-diff", parents=[common],
+        help="compare two recorded traces: phase and violation deltas",
+    )
+    p.add_argument("baseline")
+    p.add_argument("candidate")
+    p.add_argument(
+        "--slo", type=float, metavar="MS", default=None,
+        help="SLO deadline in milliseconds (default: baseline trace's own)",
+    )
+
     sub.add_parser("list", parents=[common],
                    help="show models, schemes, traces, experiments")
     return parser
@@ -196,12 +251,15 @@ def _cmd_profiles(args) -> int:
 
 
 def _run_one(scheme: str, model, trace, profiles, slo, sim=None, tracer=None):
+    """Execute one scheme; returns ``(RunResult, ServerlessRun)`` so
+    callers can reach post-run state (SLO monitor, sim clock)."""
     logger.debug("running scheme %s on %s (%d requests)",
                  scheme, model.name, trace.n_requests)
     policy = make_policy(scheme, model, profiles, slo.target_seconds, trace)
-    return ServerlessRun(
+    run = ServerlessRun(
         model, trace, policy, profiles, slo, sim=sim, tracer=tracer
-    ).execute()
+    )
+    return run.execute(), run
 
 
 def _cmd_run(args) -> int:
@@ -209,11 +267,11 @@ def _cmd_run(args) -> int:
     profiles = ProfileService()
     slo = SLO()
     trace = _TRACES[args.trace](model, args.duration, args.seed)
-    tracing = bool(args.trace_out or args.chrome_trace)
+    tracing = bool(args.trace_out or args.chrome_trace or args.prom_out)
     tracer = Tracer() if tracing else None
     profiler = EngineProfiler() if args.profile_engine else None
     sim = Simulator(profiler=profiler) if profiler is not None else None
-    result = _run_one(
+    result, run = _run_one(
         args.scheme, model, trace, profiles, slo, sim=sim, tracer=tracer
     )
     emit(
@@ -244,6 +302,12 @@ def _cmd_run(args) -> int:
                 f"wrote {n} trace events to {args.chrome_trace} "
                 "(open in https://ui.perfetto.dev)"
             )
+        if args.prom_out:
+            n = write_prometheus(
+                tracer, args.prom_out,
+                monitor=run.slo_monitor, now=run.sim.now,
+            )
+            emit(f"wrote {n} Prometheus samples to {args.prom_out}")
     if profiler is not None:
         emit("")
         emit(profiler.rendered())
@@ -257,7 +321,7 @@ def _cmd_compare(args) -> int:
     trace = _TRACES[args.trace](model, args.duration, args.seed)
     rows = []
     for scheme in list(SCHEMES) + ["oracle"]:
-        r = _run_one(scheme, model, trace, profiles, slo)
+        r, _ = _run_one(scheme, model, trace, profiles, slo)
         rows.append(
             [
                 scheme_label(scheme),
@@ -303,6 +367,43 @@ def _cmd_trace_report(args) -> int:
     return 0
 
 
+def _cmd_trace_attribution(args) -> int:
+    slo_seconds = args.slo / 1e3 if args.slo is not None else None
+    try:
+        report = attribute_trace(args.trace_file, slo_seconds=slo_seconds)
+    except FileNotFoundError:
+        logger.error("trace file not found: %s", args.trace_file)
+        return 1
+    except ValueError as exc:
+        logger.error("cannot attribute trace: %s", exc)
+        return 1
+    emit(render_attribution_report(report, max_rows=args.max_rows))
+    if args.json_out:
+        write_attribution_json(report, args.json_out)
+        emit(f"wrote attribution JSON to {args.json_out}")
+    if args.html_out:
+        with open(args.html_out, "w", encoding="utf-8") as fh:
+            fh.write(render_attribution_html(report))
+        emit(f"wrote HTML report to {args.html_out}")
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    slo_seconds = args.slo / 1e3 if args.slo is not None else None
+    try:
+        diff = diff_traces(
+            args.baseline, args.candidate, slo_seconds=slo_seconds
+        )
+    except FileNotFoundError as exc:
+        logger.error("trace file not found: %s", exc)
+        return 1
+    except ValueError as exc:
+        logger.error("cannot diff traces: %s", exc)
+        return 1
+    emit(render_trace_diff(diff))
+    return 0
+
+
 def _cmd_list(args) -> int:
     lines = ["models:"]
     for m in ALL_MODELS:
@@ -327,6 +428,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "trace-report": _cmd_trace_report,
+        "trace-attribution": _cmd_trace_attribution,
+        "trace-diff": _cmd_trace_diff,
         "list": _cmd_list,
     }[args.command]
     return handler(args)

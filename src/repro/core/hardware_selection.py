@@ -30,7 +30,13 @@ from repro.hardware.profiles import ProfileService
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.models import ModelSpec
 
-__all__ = ["CandidateEvaluation", "SelectionOutcome", "HardwareSelector"]
+__all__ = [
+    "CandidateEvaluation",
+    "CandidateRow",
+    "SelectionOutcome",
+    "HardwareSelector",
+    "choose_best_row",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +47,83 @@ class CandidateEvaluation:
     least_t_max: float
     best_y: Optional[int]
     cost: float
+
+
+@dataclass(frozen=True)
+class CandidateRow:
+    """A recorded ``HW_dict`` row, decoupled from live catalog objects.
+
+    This is the replay-side twin of :class:`CandidateEvaluation`: the
+    ``hardware_selection.tick`` trace event serialises each evaluation as
+    ``{hw, least_t_max, best_y, cost_per_hour}`` (with ``inf`` written as
+    ``null``), and :meth:`from_attrs` parses that back so the
+    counterfactual engine can re-run ``choose_best_HW`` over logged state
+    without re-simulation.
+    """
+
+    hw_name: str
+    least_t_max: float
+    best_y: Optional[int]
+    cost_per_hour: float
+
+    @classmethod
+    def from_attrs(cls, attrs: dict) -> "CandidateRow":
+        """Parse one serialised candidate (JSONL round trip: ``null``
+        ``least_t_max`` means the candidate was infeasible at any split)."""
+        t = attrs.get("least_t_max")
+        return cls(
+            hw_name=str(attrs.get("hw")),
+            least_t_max=float("inf") if t is None else float(t),
+            best_y=attrs.get("best_y"),
+            cost_per_hour=float(attrs.get("cost_per_hour", 0.0)),
+        )
+
+
+def _choose_best_generic(rows, t_of, cost_of, budget: float, slack: float):
+    """``choose_best_HW`` over any row shape (live or replayed).
+
+    Shared by :meth:`HardwareSelector.choose_best` (live
+    :class:`CandidateEvaluation` objects) and :func:`choose_best_row`
+    (recorded :class:`CandidateRow` rows) so the counterfactual replay can
+    never drift from the online selection rule.
+    """
+    if not rows:
+        raise ValueError("no candidates to choose from")
+    best_t = min(t_of(r) for r in rows)
+    fitting = [r for r in rows if t_of(r) <= budget]
+    if not fitting:
+        return min(rows, key=lambda r: (t_of(r), cost_of(r)))
+    # "Within ~50 ms of the most performant" (the paper's rule), but
+    # when every candidate sits far inside the budget the comparison
+    # degenerates (at light load T_max values are all tiny and the
+    # fastest GPU always "wins" by more than the slack); any node with
+    # comfortable margin is equally good, so cost decides.
+    threshold = max(best_t + slack, 0.8 * budget)
+    window = [r for r in fitting if t_of(r) <= threshold]
+    pool = window or fitting
+    return min(pool, key=lambda r: (cost_of(r), t_of(r)))
+
+
+def choose_best_row(
+    rows: list[CandidateRow],
+    slo_budget: float,
+    perf_slack_seconds: float = 0.050,
+) -> CandidateRow:
+    """Replay ``choose_best_HW`` over a recorded candidate table.
+
+    Given the rows of one ``hardware_selection.tick`` event (see
+    :meth:`CandidateRow.from_attrs`) and the latency budget the selector
+    was judging against, returns the row the live algorithm would pick —
+    the primitive the offline counterfactual engine
+    (:mod:`repro.analysis.attribution`) builds on.
+    """
+    return _choose_best_generic(
+        rows,
+        t_of=lambda r: r.least_t_max,
+        cost_of=lambda r: r.cost_per_hour,
+        budget=slo_budget,
+        slack=perf_slack_seconds,
+    )
 
 
 @dataclass
@@ -175,26 +258,13 @@ class HardwareSelector:
         Candidates violating the SLO budget are only chosen when *nothing*
         fits, in which case the fastest option wins (graceful degradation —
         the Fig 13a regime)."""
-        if not evaluations:
-            raise ValueError("no candidates to choose from")
-        budget = self.slo_seconds * self.latency_budget_fraction
-        best_t = min(e.least_t_max for e in evaluations)
-        fitting = [e for e in evaluations if e.least_t_max <= budget]
-        if not fitting:
-            return min(
-                evaluations, key=lambda e: (e.least_t_max, e.cost)
-            ).hw
-        # "Within ~50 ms of the most performant" (the paper's rule), but
-        # when every candidate sits far inside the budget the comparison
-        # degenerates (at light load T_max values are all tiny and the
-        # fastest GPU always "wins" by more than the slack); any node with
-        # comfortable margin is equally good, so cost decides.
-        threshold = max(
-            best_t + self.perf_slack_seconds, 0.8 * budget
-        )
-        window = [e for e in fitting if e.least_t_max <= threshold]
-        pool = window or fitting
-        return min(pool, key=lambda e: (e.cost, e.least_t_max)).hw
+        return _choose_best_generic(
+            evaluations,
+            t_of=lambda e: e.least_t_max,
+            cost_of=lambda e: e.cost,
+            budget=self.slo_seconds * self.latency_budget_fraction,
+            slack=self.perf_slack_seconds,
+        ).hw
 
     # ------------------------------------------------------------------
     # One monitoring tick (the outer loop of Algorithm 1)
@@ -295,6 +365,8 @@ class HardwareSelector:
                 wait_ctr=self._wait_ctr,
                 wait_limit=self.wait_limit,
                 wait_limit_down=self.wait_limit_down,
+                slo_budget=self.slo_seconds * self.latency_budget_fraction,
+                perf_slack=self.perf_slack_seconds,
                 candidates=[
                     {
                         "hw": e.hw.name,

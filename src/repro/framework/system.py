@@ -43,6 +43,7 @@ from repro.simulator.failures import FailureInjector, FailureSchedule
 from repro.simulator.job import Job
 from repro.simulator.metrics import MetricsCollector
 from repro.simulator.power import cluster_energy_joules, node_energy_joules
+from repro.telemetry.slo_monitor import SLOMonitor
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.models import ModelSpec
 from repro.workloads.sebs import SebsColocator
@@ -80,6 +81,14 @@ class RunConfig:
         Cadence of the metrics sampler (queue depths, container counts,
         GPU occupancy).  Only consulted when a tracer is enabled; a
         disabled run schedules no sampler events at all.
+    slo_monitor_window_seconds:
+        Sliding-window width of the live SLO burn-rate monitor
+        (:class:`~repro.telemetry.slo_monitor.SLOMonitor`).  ``<= 0``
+        disables the monitor entirely.  Like the sampler, the monitor
+        only exists when a tracer is enabled.
+    slo_burn_rate_threshold:
+        Windowed burn rate (violation rate / error budget) at which the
+        monitor emits a ``slo_alert`` event.
     """
 
     batch_window_seconds: float = 0.075
@@ -92,6 +101,8 @@ class RunConfig:
     sebs_colocation: bool = False
     sebs_invocation_rps: float = 4.0
     telemetry_sample_interval_seconds: float = 1.0
+    slo_monitor_window_seconds: float = 30.0
+    slo_burn_rate_threshold: float = 2.0
     seed: int = 0
 
 
@@ -205,6 +216,9 @@ class ServerlessRun:
         self._owned_node_ids: set[int] = set()
         self._sebs: Optional[SebsColocator] = None
         self._failure_injector: Optional[FailureInjector] = None
+        #: Live SLO burn-rate monitor; constructed in ``_setup_telemetry``
+        #: only when tracing is enabled and the window is positive.
+        self.slo_monitor: Optional[SLOMonitor] = None
         self._executed = False
 
     # ------------------------------------------------------------------
@@ -363,6 +377,14 @@ class ServerlessRun:
                 for p in node.pools().values()
             ),
         )
+        if self.config.slo_monitor_window_seconds > 0:
+            self.slo_monitor = SLOMonitor(
+                slo_seconds=self.slo.target_seconds,
+                tracer=self.tracer,
+                window_seconds=self.config.slo_monitor_window_seconds,
+                compliance_goal=self.slo.compliance_goal,
+                burn_rate_threshold=self.config.slo_burn_rate_threshold,
+            )
         self.sim.schedule(
             self.config.telemetry_sample_interval_seconds,
             self._telemetry_tick,
@@ -372,6 +394,8 @@ class ServerlessRun:
     def _telemetry_tick(self) -> None:
         now = self.sim.now
         self.tracer.metrics.sample(now)
+        if self.slo_monitor is not None:
+            self.slo_monitor.sample(now)
         if now < self.trace.duration + self.config.drain_grace_seconds:
             self.sim.schedule(
                 self.config.telemetry_sample_interval_seconds,
@@ -477,6 +501,13 @@ class ServerlessRun:
                 self.tracer.metrics.histogram("request.latency_seconds").observe(
                     float(batch.completed_at) - batch.first_arrival
                 )
+                if self.slo_monitor is not None:
+                    self.slo_monitor.observe_batch(
+                        self.sim.now,
+                        batch.model.name,
+                        batch.hardware_name or "?",
+                        batch.latencies(),
+                    )
 
         def on_evict(job: Job) -> None:
             pool.release()

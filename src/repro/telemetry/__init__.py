@@ -14,6 +14,11 @@ request's latency actually went.  This package records the path taken:
   gauges, and histograms sampled on a configurable interval.
 * :mod:`~repro.telemetry.exporters` — JSONL and Chrome ``trace_event``
   output (opens directly in Perfetto / ``chrome://tracing``).
+* :class:`~repro.telemetry.slo_monitor.SLOMonitor` — live sliding-window
+  SLO attainment / burn-rate tracking that emits ``slo_alert`` events
+  into the trace timeline.
+* :mod:`~repro.telemetry.prometheus` — Prometheus text-format snapshot
+  of the registry and the monitor windows.
 * :class:`~repro.telemetry.profiling.EngineProfiler` — per-callback-site
   wall-clock profiling of the discrete-event hot loop.
 
@@ -37,6 +42,8 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
 )
 from repro.telemetry.profiling import EngineProfiler
+from repro.telemetry.prometheus import to_prometheus_text, write_prometheus
+from repro.telemetry.slo_monitor import SLOMonitor, WindowStats
 from repro.telemetry.exporters import (
     TraceData,
     read_jsonl,
@@ -54,14 +61,18 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
+    "SLOMonitor",
     "SpanRecord",
     "TraceData",
     "TraceEventRecord",
     "Tracer",
+    "WindowStats",
     "read_jsonl",
     "summary_counts",
     "to_chrome_trace",
     "to_jsonl_lines",
+    "to_prometheus_text",
     "write_chrome_trace",
     "write_jsonl",
+    "write_prometheus",
 ]

@@ -48,16 +48,28 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram (latencies, batch sizes).
+    """Fixed-bucket histogram (latencies, batch sizes) with an exact tier.
 
     ``bounds`` are the inclusive upper edges of the finite buckets; one
     overflow bucket catches everything above the last bound.
+
+    Raw samples are additionally retained up to :data:`RAW_SAMPLE_CAP`
+    observations, so :meth:`quantile` (and the ``p50``/``p99`` columns of
+    :meth:`MetricsRegistry.histogram_summaries`) are *exact* for typical
+    run sizes.  Once the ``RAW_SAMPLE_CAP + 1``-th observation arrives the
+    raw list is dropped (bounding memory) and quantiles degrade to bucket
+    resolution — the upper bound of the bucket holding the target
+    observation, ``inf`` for the overflow bucket.
     """
 
     DEFAULT_BOUNDS: tuple[float, ...] = (
         0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
         0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
     )
+
+    #: Degradation point: beyond this many observations the raw samples
+    #: are discarded and quantiles fall back to bucket resolution.
+    RAW_SAMPLE_CAP: int = 4096
 
     def __init__(
         self, name: str, bounds: Optional[Sequence[float]] = None
@@ -70,24 +82,38 @@ class Histogram:
         self.counts = [0] * (len(bs) + 1)
         self.n = 0
         self.sum = 0.0
+        self._raw: Optional[list[float]] = []
 
     def observe(self, value: float) -> None:
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
         self.n += 1
         self.sum += value
+        if self._raw is not None:
+            if self.n <= self.RAW_SAMPLE_CAP:
+                self._raw.append(float(value))
+            else:
+                self._raw = None  # past the cap: bucket resolution only
 
     @property
     def mean(self) -> float:
         return self.sum / self.n if self.n else 0.0
 
+    @property
+    def exact(self) -> bool:
+        """Whether quantiles are still computed from raw samples."""
+        return self._raw is not None
+
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile (upper bound of the bucket holding
-        the ``q``-th observation; the overflow bucket reports ``inf``)."""
+        """The ``q``-th quantile: exact while at most
+        :data:`RAW_SAMPLE_CAP` observations were made, bucket-resolution
+        afterwards (see the class docstring)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if self.n == 0:
             return 0.0
         target = max(1, int(round(q * self.n)))
+        if self._raw is not None:
+            return sorted(self._raw)[target - 1]
         seen = 0
         for i, c in enumerate(self.counts):
             seen += c
@@ -149,7 +175,11 @@ class MetricsRegistry:
         return row
 
     def histogram_summaries(self) -> dict[str, dict[str, float]]:
-        """Per-histogram ``{n, mean, p50, p99}`` summaries."""
+        """Per-histogram ``{n, mean, p50, p99}`` summaries.
+
+        ``p50``/``p99`` are exact while the histogram holds at most
+        :data:`Histogram.RAW_SAMPLE_CAP` observations, bucket-resolution
+        beyond that."""
         return {
             name: {
                 "n": float(h.n),

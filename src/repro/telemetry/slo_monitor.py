@@ -1,0 +1,244 @@
+"""Live SLO burn-rate monitoring: sliding-window attainment and alerts.
+
+The tracer records *what happened*; this module watches it *while it
+happens*.  A :class:`SLOMonitor` keeps one sliding window (default 30
+sim-seconds) of request completions per **model** and per **hardware**
+track, and every sample tick evaluates windowed attainment, p99, and the
+SRE-style **burn rate** — the ratio of the window's violation rate to the
+SLO's allowed error budget (``1 - compliance_goal``).  A burn rate of 1.0
+spends the error budget exactly as fast as the SLO allows; 2.0 spends it
+twice as fast.
+
+When a window's burn rate crosses ``burn_rate_threshold`` the monitor
+emits a ``slo_alert`` trace event (``state="firing"``), and a matching
+``state="resolved"`` event when it drops back below — so autoscaler or
+selector misbehaviour is visible *in the trace timeline* next to the
+decisions that caused it, not only in a post-mortem aggregate.  Alerts
+are edge-triggered per key: a window that stays bad fires once.
+
+The monitor is a pure observer: it never touches the control plane, and
+it only exists when tracing is enabled (the framework constructs it in
+``_setup_telemetry``), so a run without it is bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["SLOMonitor", "WindowStats"]
+
+
+class _Window:
+    """One (scope, key) sliding window with O(1) running totals.
+
+    The per-tick evaluation must stay off the latency-percentile path:
+    request and violation counts are maintained incrementally on append
+    and evict, so :meth:`SLOMonitor.sample` touches no latency arrays
+    unless an alert actually transitions (when the p99 for that one
+    window is computed on demand).
+    """
+
+    __slots__ = ("entries", "n", "viol")
+
+    def __init__(self) -> None:
+        #: (completed_at, latencies, n, n_violations) per observed batch.
+        self.entries: deque = deque()
+        self.n = 0
+        self.viol = 0
+
+    def append(self, t: float, lat: np.ndarray, n_viol: int) -> None:
+        self.entries.append((t, lat, int(lat.size), n_viol))
+        self.n += int(lat.size)
+        self.viol += n_viol
+
+    def evict_before(self, cutoff: float) -> None:
+        entries = self.entries
+        while entries and entries[0][0] < cutoff:
+            _, _, n, viol = entries.popleft()
+            self.n -= n
+            self.viol -= viol
+
+    def p99(self) -> float:
+        if not self.entries:
+            return 0.0
+        lat = np.concatenate([e[1] for e in self.entries])
+        return float(np.percentile(lat, 99.0))
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One (scope, key) window's state at a sample instant."""
+
+    scope: str  # "model" | "hardware"
+    key: str
+    n_requests: int
+    n_violations: int
+    attainment: float  # fraction of windowed requests meeting the SLO
+    p99_seconds: float
+    burn_rate: float
+    firing: bool
+
+
+class SLOMonitor:
+    """Sliding-window SLO attainment tracker with burn-rate alerts.
+
+    Parameters
+    ----------
+    slo_seconds:
+        The per-request deadline attainment is judged against.
+    tracer:
+        Sink for ``slo_alert`` events (and nothing else).
+    window_seconds:
+        Sliding-window width in sim-seconds.
+    compliance_goal:
+        Target attainment (the paper's >= 99%); the error budget is
+        ``1 - compliance_goal``.
+    burn_rate_threshold:
+        Fire when the windowed violation rate exceeds this multiple of
+        the error budget.
+    min_window_requests:
+        Windows with fewer requests never fire (a single violating
+        request in a near-idle window is noise, not a burn).
+    """
+
+    def __init__(
+        self,
+        slo_seconds: float,
+        tracer: Optional[Tracer] = None,
+        window_seconds: float = 30.0,
+        compliance_goal: float = 0.99,
+        burn_rate_threshold: float = 2.0,
+        min_window_requests: int = 20,
+    ) -> None:
+        if slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if not 0 < compliance_goal < 1:
+            raise ValueError("compliance_goal must be in (0, 1)")
+        self.slo_seconds = float(slo_seconds)
+        self.tracer = tracer
+        self.window_seconds = float(window_seconds)
+        self.compliance_goal = float(compliance_goal)
+        self.burn_rate_threshold = float(burn_rate_threshold)
+        self.min_window_requests = int(min_window_requests)
+        self._windows: dict[tuple[str, str], _Window] = {}
+        self._firing: set[tuple[str, str]] = set()
+        self.alerts_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def observe_batch(
+        self, now: float, model: str, hardware: str, latencies: np.ndarray
+    ) -> None:
+        """Record one completed batch's per-request latencies (seconds)
+        under both its model and its hardware window."""
+        lat = np.asarray(latencies, dtype=np.float64)
+        if lat.size == 0:
+            return
+        n_viol = int(np.count_nonzero(lat > self.slo_seconds))
+        for scope, key in (("model", model), ("hardware", hardware)):
+            window = self._windows.get((scope, key))
+            if window is None:
+                window = self._windows[(scope, key)] = _Window()
+            window.append(now, lat, n_viol)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def window_stats(
+        self, now: float, include_p99: bool = True
+    ) -> list[WindowStats]:
+        """Evaluate every window at ``now`` (evicting expired entries).
+
+        ``include_p99=False`` skips the latency-percentile computation
+        (the only non-O(1) part) and reports 0.0 — the per-tick alerting
+        path uses it, since firing is judged on burn rate alone.
+        """
+        out: list[WindowStats] = []
+        error_budget = 1.0 - self.compliance_goal
+        for (scope, key), window in sorted(self._windows.items()):
+            window.evict_before(now - self.window_seconds)
+            n, n_viol = window.n, window.viol
+            out.append(
+                WindowStats(
+                    scope=scope, key=key, n_requests=n, n_violations=n_viol,
+                    attainment=1.0 - n_viol / n if n else 1.0,
+                    p99_seconds=window.p99() if include_p99 else 0.0,
+                    burn_rate=(n_viol / n) / error_budget if n else 0.0,
+                    firing=(scope, key) in self._firing,
+                )
+            )
+        return out
+
+    def sample(self, now: float) -> list[WindowStats]:
+        """One monitor tick: evaluate windows, emit alert transitions.
+
+        Returns the evaluated stats.  ``slo_alert`` events are
+        edge-triggered: ``firing`` on the first bad sample, ``resolved``
+        on the first good one after.  The common no-transition tick costs
+        O(windows) — p99 is only computed for a window whose alert state
+        actually changes (its event carries the exact value).
+        """
+        stats = self.window_stats(now, include_p99=False)
+        for s in stats:
+            ident = (s.scope, s.key)
+            should_fire = (
+                s.n_requests >= self.min_window_requests
+                and s.burn_rate >= self.burn_rate_threshold
+            )
+            if should_fire and ident not in self._firing:
+                self._firing.add(ident)
+                self._emit(now, self._with_p99(s), "firing")
+            elif not should_fire and ident in self._firing:
+                self._firing.discard(ident)
+                self._emit(now, self._with_p99(s), "resolved")
+        # Re-read firing flags so the returned stats reflect transitions.
+        return [
+            s if s.firing == ((s.scope, s.key) in self._firing)
+            else WindowStats(
+                scope=s.scope, key=s.key, n_requests=s.n_requests,
+                n_violations=s.n_violations, attainment=s.attainment,
+                p99_seconds=s.p99_seconds, burn_rate=s.burn_rate,
+                firing=(s.scope, s.key) in self._firing,
+            )
+            for s in stats
+        ]
+
+    def _with_p99(self, s: WindowStats) -> WindowStats:
+        """Fill in the on-demand p99 for one window's stats."""
+        window = self._windows.get((s.scope, s.key))
+        return replace(s, p99_seconds=window.p99() if window else 0.0)
+
+    def _emit(self, now: float, s: WindowStats, state: str) -> None:
+        self.alerts_emitted += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                "slo_alert",
+                now,
+                cat="alert",
+                track="slo-monitor",
+                state=state,
+                scope=s.scope,
+                key=s.key,
+                attainment=s.attainment,
+                p99_seconds=s.p99_seconds,
+                burn_rate=s.burn_rate,
+                burn_rate_threshold=self.burn_rate_threshold,
+                window_seconds=self.window_seconds,
+                n_requests=s.n_requests,
+                n_violations=s.n_violations,
+                slo_seconds=self.slo_seconds,
+            )
+
+    @property
+    def firing_keys(self) -> list[tuple[str, str]]:
+        """Currently-firing (scope, key) pairs, sorted."""
+        return sorted(self._firing)

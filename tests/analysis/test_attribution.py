@@ -1,0 +1,374 @@
+"""Tests for SLO-violation attribution and counterfactual replay.
+
+The two acceptance properties from the observability PR:
+
+1. **Conservation** — the attributed seconds of every violating span sum
+   exactly (1e-9) to the span's end-to-end latency.
+2. **Counterfactual labels** — on a crafted trace whose selector sits on
+   a known-bad node while a cheaper feasible candidate exists, every
+   violation is labelled ``mis-selected`` and names that candidate.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.attribution import (
+    ATTRIBUTION_CAUSES,
+    DEFAULT_BUDGET_FRACTION,
+    _attribute_span,
+    attainment_series,
+    attribute_trace,
+    render_attribution_html,
+    render_attribution_report,
+    write_attribution_json,
+)
+from repro.analysis.trace_report import BREAKDOWN_COMPONENTS
+from repro.core.hardware_selection import CandidateRow, choose_best_row
+from repro.experiments.schemes import make_policy
+from repro.framework.slo import SLO
+from repro.framework.system import ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.telemetry import Tracer, read_jsonl, write_jsonl
+from repro.telemetry.exporters import TraceData
+from repro.workloads.models import get_model
+from repro.workloads.traces import poisson_trace
+
+SLO_S = 0.200
+BUDGET = SLO_S * DEFAULT_BUDGET_FRACTION  # 0.17
+
+
+# ----------------------------------------------------------------------
+# Crafted-trace helpers
+# ----------------------------------------------------------------------
+def make_span(start, end, *, batch_id=1, model="resnet50",
+              hardware="p2.xlarge", n=4, **components):
+    attrs = {
+        "batch_id": batch_id, "model": model, "n": n,
+        "mode": "batch", "hardware": hardware,
+    }
+    for c in BREAKDOWN_COMPONENTS:
+        attrs.setdefault(c, 0.0)
+    attrs.update(components)
+    return {
+        "name": f"batch#{batch_id}", "cat": "request", "track": hardware,
+        "start": float(start), "end": float(end), "attrs": attrs,
+    }
+
+
+def cand(hw, t_max, cost, y=1):
+    return {"hw": hw, "least_t_max": t_max, "best_y": y,
+            "cost_per_hour": cost}
+
+
+def make_decision(t, chosen, candidates, budget=BUDGET, slack=0.050):
+    attrs = {
+        "chosen": chosen, "candidates": list(candidates),
+        "slo_budget": budget, "perf_slack": slack,
+    }
+    return {"name": "hardware_selection.tick", "cat": "decision",
+            "track": "control-plane", "t": float(t), "attrs": attrs}
+
+
+def trace_of(spans=(), events=(), slo=SLO_S):
+    return TraceData(
+        meta={"slo_seconds": slo, "scheme": "paldia", "model": "resnet50",
+              "seed": 0},
+        spans=list(spans),
+        events=list(events),
+    )
+
+
+# The known-bad-node scenario: the selector sits on the K80 whose
+# predicted T_max blows the budget while the cheaper M60 meets it.
+MIS_SELECTED_TABLE = [
+    cand("p2.xlarge", 0.30, 0.90),    # chosen, predicted infeasible
+    cand("g3s.xlarge", 0.10, 0.75),   # feasible AND cheaper
+    cand("p3.2xlarge", 0.05, 3.06),   # feasible but pricier
+]
+
+
+@pytest.fixture(scope="module")
+def real_trace(tmp_path_factory):
+    """A short real traced run, round-tripped through the JSONL file."""
+    model = get_model("resnet50")
+    profiles = ProfileService()
+    slo = SLO()
+    trace = poisson_trace(rate_rps=model.peak_rps, duration=20.0, seed=0)
+    policy = make_policy("paldia", model, profiles, slo.target_seconds, trace)
+    tracer = Tracer()
+    ServerlessRun(model, trace, policy, profiles, slo, tracer=tracer).execute()
+    path = str(tmp_path_factory.mktemp("attr") / "run.jsonl")
+    write_jsonl(tracer, path)
+    return read_jsonl(path)
+
+
+# ----------------------------------------------------------------------
+# Conservation
+# ----------------------------------------------------------------------
+class TestConservation:
+    @given(
+        start=st.floats(0.0, 1e4),
+        latency=st.floats(0.2001, 30.0),
+        comps=st.lists(
+            st.floats(0.0, 8.0), min_size=5, max_size=5
+        ),
+    )
+    def test_attributed_sum_equals_latency(self, start, latency, comps):
+        span = make_span(
+            start, start + latency,
+            **dict(zip(BREAKDOWN_COMPONENTS, comps)),
+        )
+        rec = _attribute_span(span, SLO_S)
+        assert set(rec.attributed) == set(ATTRIBUTION_CAUSES)
+        assert abs(sum(rec.attributed.values()) - rec.latency) <= 1e-9
+
+    def test_residual_absorbs_overcounting(self):
+        # Components summing past the latency push the residual negative;
+        # conservation must still hold.
+        span = make_span(0.0, 0.25, batching_wait=0.2, exec_solo=0.2)
+        rec = _attribute_span(span, SLO_S)
+        assert rec.attributed["unattributed"] == pytest.approx(-0.15)
+        assert sum(rec.attributed.values()) == pytest.approx(0.25, abs=1e-9)
+
+    def test_dominant_cause_is_largest_component(self):
+        span = make_span(0.0, 0.3, queue_delay=0.18, exec_solo=0.09)
+        assert _attribute_span(span, SLO_S).dominant_cause == "queue_delay"
+
+    def test_all_zero_components_fall_to_unattributed(self):
+        rec = _attribute_span(make_span(0.0, 0.3), SLO_S)
+        assert rec.dominant_cause == "unattributed"
+        assert rec.attributed["unattributed"] == pytest.approx(0.3)
+
+    def test_conservation_on_real_trace(self, real_trace):
+        report = attribute_trace(real_trace)
+        assert report.violations, "expected some violations in this workload"
+        for v in report.violations:
+            assert abs(sum(v.attributed.values()) - v.latency) <= 1e-9
+        # The aggregate inherits the per-span property.
+        total = sum(report.seconds_by_cause().values())
+        latency_sum = sum(v.latency for v in report.violations)
+        assert total == pytest.approx(latency_sum, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Counterfactual replay
+# ----------------------------------------------------------------------
+class TestCounterfactualLabels:
+    def test_known_bad_node_is_mis_selected(self):
+        trace = trace_of(
+            spans=[make_span(6.0, 6.25, exec_solo=0.2)],
+            events=[make_decision(5.0, "p2.xlarge", MIS_SELECTED_TABLE)],
+        )
+        report = attribute_trace(trace)
+        (v,) = report.violations
+        cf = v.counterfactual
+        assert cf.label == "mis-selected"
+        assert cf.counterfactual_hw == "g3s.xlarge"
+        assert cf.counterfactual_cost_per_hour == pytest.approx(0.75)
+        assert cf.chosen == "p2.xlarge"
+        assert not cf.chosen_predicted_feasible
+        assert report.counterfactual_counts() == {"mis-selected": 1}
+
+    def test_no_feasible_candidate_is_unavoidable(self):
+        table = [cand("p2.xlarge", 0.30, 0.90), cand("g3s.xlarge", 0.40, 0.75)]
+        trace = trace_of(
+            spans=[make_span(6.0, 6.25, exec_solo=0.2)],
+            events=[make_decision(5.0, "p2.xlarge", table)],
+        )
+        (v,) = attribute_trace(trace).violations
+        assert v.counterfactual.label == "unavoidable"
+        assert v.counterfactual.counterfactual_hw is None
+
+    def test_feasible_chosen_is_avoidable_not_mis_selected(self):
+        # The selector's pick was predicted to meet the budget; the miss
+        # is a prediction/transient failure, not a selection failure.
+        table = [cand("g3s.xlarge", 0.10, 0.75), cand("p3.2xlarge", 0.05, 3.06)]
+        trace = trace_of(
+            spans=[make_span(6.0, 6.25, exec_solo=0.2, hardware="g3s.xlarge")],
+            events=[make_decision(5.0, "g3s.xlarge", table)],
+        )
+        (v,) = attribute_trace(trace).violations
+        assert v.counterfactual.label == "avoidable"
+        assert v.counterfactual.chosen_predicted_feasible
+
+    def test_only_pricier_feasible_is_avoidable(self):
+        # Escaping required paying more: the cost-aware rule had an
+        # excuse, so this is avoidable rather than mis-selected.
+        table = [cand("g3s.xlarge", 0.30, 0.75), cand("p3.2xlarge", 0.05, 3.06)]
+        trace = trace_of(
+            spans=[make_span(6.0, 6.25, exec_solo=0.2, hardware="g3s.xlarge")],
+            events=[make_decision(5.0, "g3s.xlarge", table)],
+        )
+        (v,) = attribute_trace(trace).violations
+        assert v.counterfactual.label == "avoidable"
+        assert v.counterfactual.counterfactual_hw == "p3.2xlarge"
+
+    def test_violation_joins_nearest_preceding_decision(self):
+        bad = [cand("p2.xlarge", 0.30, 0.90), cand("g3s.xlarge", 0.40, 0.75)]
+        trace = trace_of(
+            spans=[make_span(10.0, 10.25, exec_solo=0.2)],
+            events=[
+                make_decision(5.0, "p2.xlarge", MIS_SELECTED_TABLE),
+                make_decision(20.0, "p2.xlarge", bad),
+            ],
+        )
+        (v,) = attribute_trace(trace).violations
+        assert v.counterfactual.decision_t == pytest.approx(5.0)
+        assert v.counterfactual.label == "mis-selected"
+
+    def test_violation_before_first_decision_joins_it(self):
+        trace = trace_of(
+            spans=[make_span(1.0, 1.25, exec_solo=0.2)],
+            events=[make_decision(5.0, "p2.xlarge", MIS_SELECTED_TABLE)],
+        )
+        (v,) = attribute_trace(trace).violations
+        assert v.counterfactual is not None
+        assert v.counterfactual.decision_t == pytest.approx(5.0)
+
+    def test_budget_falls_back_for_pre_schema_traces(self):
+        # A decision event without slo_budget (older trace) reconstructs
+        # the default budget fraction.
+        d = make_decision(5.0, "p2.xlarge", MIS_SELECTED_TABLE)
+        del d["attrs"]["slo_budget"]
+        del d["attrs"]["perf_slack"]
+        trace = trace_of(
+            spans=[make_span(6.0, 6.25, exec_solo=0.2)], events=[d]
+        )
+        (v,) = attribute_trace(trace).violations
+        assert v.counterfactual.budget == pytest.approx(
+            SLO_S * DEFAULT_BUDGET_FRACTION
+        )
+        assert v.counterfactual.label == "mis-selected"
+
+    def test_no_decisions_leaves_counterfactual_none(self):
+        trace = trace_of(spans=[make_span(6.0, 6.25, exec_solo=0.2)])
+        (v,) = attribute_trace(trace).violations
+        assert v.counterfactual is None
+        assert attribute_trace(trace).counterfactual_counts() == {
+            "no-decision": 1
+        }
+
+
+# ----------------------------------------------------------------------
+# Decision-event -> candidate-table round trip
+# ----------------------------------------------------------------------
+class TestDecisionRoundTrip:
+    def test_replay_matches_recorded_chosen_on_real_trace(self, real_trace):
+        ticks = real_trace.events_named("hardware_selection.tick")
+        assert ticks, "expected decision events in the traced run"
+        for e in ticks:
+            attrs = e["attrs"]
+            rows = [CandidateRow.from_attrs(c) for c in attrs["candidates"]]
+            replayed = choose_best_row(
+                rows, attrs["slo_budget"],
+                perf_slack_seconds=attrs["perf_slack"],
+            )
+            assert replayed.hw_name == attrs["chosen"], (
+                f"replay diverged from live choose_best at t={e['t']}"
+            )
+
+    def test_infeasible_candidate_survives_jsonl_round_trip(self, tmp_path):
+        # inf T_max serialises as null and parses back to inf.
+        tracer = Tracer()
+        tracer.event(
+            "hardware_selection.tick", 1.0, cat="decision",
+            chosen="p3.2xlarge", slo_budget=BUDGET, perf_slack=0.050,
+            candidates=[
+                cand("m4.xlarge", float("inf"), 0.20, y=None),
+                cand("p3.2xlarge", 0.05, 3.06),
+            ],
+        )
+        path = str(tmp_path / "tick.jsonl")
+        write_jsonl(tracer, path)
+        data = read_jsonl(path)
+        (e,) = data.events_named("hardware_selection.tick")
+        serialised = e["attrs"]["candidates"][0]["least_t_max"]
+        assert serialised is None
+        rows = [CandidateRow.from_attrs(c) for c in e["attrs"]["candidates"]]
+        assert math.isinf(rows[0].least_t_max)
+        assert choose_best_row(rows, BUDGET).hw_name == "p3.2xlarge"
+
+
+# ----------------------------------------------------------------------
+# The report object and its renderings
+# ----------------------------------------------------------------------
+class TestAttributionReport:
+    def test_slo_defaults_to_trace_meta_and_can_be_overridden(self):
+        trace = trace_of(spans=[make_span(0.0, 0.25, exec_solo=0.2)])
+        assert attribute_trace(trace).slo_seconds == pytest.approx(SLO_S)
+        # A looser deadline re-judges the same span as compliant.
+        assert not attribute_trace(trace, slo_seconds=0.5).violations
+
+    def test_missing_slo_raises(self):
+        trace = TraceData(meta={}, spans=[make_span(0.0, 0.25)])
+        with pytest.raises(ValueError, match="slo_seconds"):
+            attribute_trace(trace)
+
+    def test_json_is_strict_and_carries_schema(self, tmp_path):
+        trace = trace_of(
+            spans=[make_span(6.0, 6.25, exec_solo=0.2)],
+            events=[make_decision(5.0, "p2.xlarge", [
+                cand("p2.xlarge", None, 0.90),  # infeasible -> null t_max
+                cand("g3s.xlarge", 0.10, 0.75),
+            ])],
+        )
+        report = attribute_trace(trace)
+        doc = json.loads(json.dumps(report.to_json()))  # strict round trip
+        assert doc["schema"] == "repro.attribution/1"
+        assert doc["n_violating_spans"] == 1
+        assert doc["counterfactual_labels"] == {"mis-selected": 1}
+        assert set(doc["seconds_by_cause"]) == set(ATTRIBUTION_CAUSES)
+        path = tmp_path / "attr.json"
+        write_attribution_json(report, str(path))
+        assert json.loads(path.read_text())["schema"] == "repro.attribution/1"
+
+    def test_violating_requests_count_whole_batches(self):
+        trace = trace_of(
+            spans=[make_span(0.0, 0.25, n=7, exec_solo=0.2),
+                   make_span(1.0, 1.1, n=3)],
+        )
+        report = attribute_trace(trace)
+        assert report.n_requests == 10
+        assert report.n_violating_requests == 7
+        assert report.overall_attainment == pytest.approx(0.3)
+
+    def test_terminal_render_names_the_counterfactual(self):
+        trace = trace_of(
+            spans=[make_span(6.0, 6.25, exec_solo=0.2)],
+            events=[make_decision(5.0, "p2.xlarge", MIS_SELECTED_TABLE)],
+        )
+        text = render_attribution_report(attribute_trace(trace))
+        assert "mis-selected" in text
+        assert "g3s.xlarge" in text
+
+    def test_terminal_render_clean_when_violation_free(self):
+        trace = trace_of(spans=[make_span(0.0, 0.05)])
+        text = render_attribution_report(attribute_trace(trace))
+        assert "no SLO violations" in text
+
+    def test_html_is_self_contained(self, real_trace):
+        html = render_attribution_html(attribute_trace(real_trace))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        # Zero external deps: no scripts, stylesheets, or remote fetches.
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+        assert "<link" not in html
+
+    def test_attainment_series_windows(self):
+        spans = [make_span(t, t + 0.05) for t in range(0, 10)]
+        spans.append(make_span(10.0, 10.3, exec_solo=0.25))
+        series = attainment_series(
+            trace_of(spans=spans), SLO_S, window_seconds=5.0, n_points=10
+        )
+        assert len(series) == 10
+        assert series[0][1] == pytest.approx(1.0)
+        assert series[-1][1] < 1.0
+        assert all(0.0 <= a <= 1.0 for _, a in series)
+
+    def test_attainment_series_empty_trace(self):
+        assert attainment_series(trace_of(), SLO_S) == []

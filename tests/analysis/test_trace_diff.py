@@ -1,0 +1,107 @@
+"""Tests for trace diffing: a self-diff must be all zeros."""
+
+import copy
+
+import pytest
+
+from repro.analysis.trace_diff import diff_traces, render_trace_diff
+from repro.analysis.trace_report import BREAKDOWN_COMPONENTS
+from repro.telemetry.exporters import TraceData
+
+SLO_S = 0.200
+
+
+def make_span(start, end, *, batch_id=1, n=4, **components):
+    attrs = {"batch_id": batch_id, "model": "resnet50", "n": n,
+             "mode": "batch", "hardware": "g3s.xlarge"}
+    for c in BREAKDOWN_COMPONENTS:
+        attrs.setdefault(c, 0.0)
+    attrs.update(components)
+    return {"name": f"batch#{batch_id}", "cat": "request",
+            "track": "g3s.xlarge", "start": float(start), "end": float(end),
+            "attrs": attrs}
+
+
+def trace_of(spans, slo=SLO_S):
+    return TraceData(
+        meta={"slo_seconds": slo, "scheme": "paldia", "model": "resnet50",
+              "seed": 0},
+        spans=list(spans),
+    )
+
+
+@pytest.fixture
+def baseline():
+    return trace_of([
+        make_span(0.0, 0.05, batch_id=1, exec_solo=0.04),
+        make_span(1.0, 1.25, batch_id=2, exec_solo=0.1, queue_delay=0.12),
+        make_span(2.0, 2.08, batch_id=3, exec_solo=0.06),
+    ])
+
+
+class TestSelfDiff:
+    def test_self_diff_is_zero(self, baseline):
+        diff = diff_traces(baseline, copy.deepcopy(baseline))
+        assert diff.is_zero
+        assert diff.attainment_delta == 0.0
+        assert all(p.total_delta == 0.0 for p in diff.phases)
+        assert all(p.mean_delta == 0.0 for p in diff.phases)
+        assert all(b == c for b, c in diff.violations_by_cause.values())
+
+    def test_self_diff_render_says_equivalent(self, baseline):
+        text = render_trace_diff(diff_traces(baseline, baseline))
+        assert "traces are equivalent: zero deltas" in text
+
+
+class TestRealDeltas:
+    def test_phase_and_violation_deltas(self, baseline):
+        candidate = trace_of([
+            make_span(0.0, 0.05, batch_id=1, exec_solo=0.04),
+            # The queueing violation is fixed...
+            make_span(1.0, 1.1, batch_id=2, exec_solo=0.1),
+            # ...but a cold-start violation appears.
+            make_span(2.0, 2.3, batch_id=3, exec_solo=0.06,
+                      cold_start_wait=0.22),
+        ])
+        diff = diff_traces(baseline, candidate)
+        assert not diff.is_zero
+        by_comp = {p.component: p for p in diff.phases}
+        assert by_comp["queue_delay"].total_delta == pytest.approx(-0.12)
+        assert by_comp["cold_start_wait"].total_delta == pytest.approx(0.22)
+        assert diff.violations_by_cause["queue_delay"] == (1, 0)
+        assert diff.violations_by_cause["cold_start_wait"] == (0, 1)
+        assert diff.attainment_delta == pytest.approx(0.0)  # traded 1 for 1
+
+    def test_attainment_delta_sign(self, baseline):
+        improved = trace_of([
+            make_span(0.0, 0.05, batch_id=1, exec_solo=0.04),
+            make_span(1.0, 1.1, batch_id=2, exec_solo=0.1),
+            make_span(2.0, 2.08, batch_id=3, exec_solo=0.06),
+        ])
+        diff = diff_traces(baseline, improved)
+        assert diff.attainment_delta > 0.0
+        assert diff.candidate_worst_span_seconds < (
+            diff.baseline_worst_span_seconds
+        )
+
+    def test_violation_free_pair_renders_clean(self):
+        quiet = trace_of([make_span(0.0, 0.05, exec_solo=0.04)])
+        text = render_trace_diff(diff_traces(quiet, quiet))
+        assert "no SLO violations in either trace" in text
+
+
+class TestSLOResolution:
+    def test_slo_defaults_to_baseline_meta(self, baseline):
+        assert diff_traces(baseline, baseline).slo_seconds == pytest.approx(
+            SLO_S
+        )
+
+    def test_explicit_slo_rejudges_both(self, baseline):
+        diff = diff_traces(baseline, baseline, slo_seconds=0.5)
+        assert diff.violations_by_cause == {}
+        assert diff.baseline_attainment == 1.0
+
+    def test_missing_slo_everywhere_raises(self):
+        bare = TraceData(meta={}, spans=[make_span(0.0, 0.05)])
+        with pytest.raises(ValueError, match="slo_seconds"):
+            diff_traces(bare, bare)

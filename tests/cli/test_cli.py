@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.telemetry import Tracer, write_jsonl
 
 
 class TestParser:
@@ -97,3 +100,117 @@ class TestTelemetryFlags:
         out = capsys.readouterr().out
         assert "engine profile" in out
         assert "dispatches" in out
+
+    def test_prom_out_writes_snapshot(self, capsys, tmp_path):
+        prom = tmp_path / "run.prom"
+        assert main([
+            "run", "resnet50", "--trace", "poisson", "--duration", "10",
+            "--prom-out", str(prom),
+        ]) == 0
+        assert "Prometheus samples" in capsys.readouterr().out
+        text = prom.read_text()
+        assert "# TYPE" in text
+        assert "repro_slo_window_attainment" in text
+
+
+@pytest.fixture(scope="module")
+def recorded_trace(tmp_path_factory):
+    """One short traced run, recorded once for every analysis test."""
+    path = str(tmp_path_factory.mktemp("cli") / "run.jsonl")
+    assert main([
+        "run", "resnet50", "--trace", "poisson", "--duration", "20",
+        "--trace-out", path,
+    ]) == 0
+    return path
+
+
+def _write_trace(tmp_path, slo_seconds=None, spans=()):
+    tracer = Tracer()
+    if slo_seconds is not None:
+        tracer.meta["slo_seconds"] = slo_seconds
+    for start, end in spans:
+        tracer.span(
+            f"batch#{start}", start, end, cat="request", track="g3s.xlarge",
+            batch_id=1, model="resnet50", n=2, mode="batch",
+            hardware="g3s.xlarge", batching_wait=0.0, cold_start_wait=0.0,
+            queue_delay=0.0, exec_solo=end - start, interference_extra=0.0,
+        )
+    path = tmp_path / "crafted.jsonl"
+    write_jsonl(tracer, str(path))
+    return str(path)
+
+
+class TestTraceReportRegressions:
+    def test_empty_trace_exits_clean(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace-report", str(empty)]) == 0
+        assert "no SLO violations (no request spans recorded)" in (
+            capsys.readouterr().out
+        )
+
+    def test_violation_free_trace_exits_clean(self, capsys, tmp_path):
+        path = _write_trace(
+            tmp_path, slo_seconds=0.2, spans=[(0.0, 0.05), (1.0, 1.08)]
+        )
+        assert main(["trace-report", path]) == 0
+        out = capsys.readouterr().out
+        assert "no SLO violations" in out
+        assert "no request spans recorded" not in out
+
+
+class TestTraceAttribution:
+    def test_attribution_on_recorded_run(self, capsys, recorded_trace):
+        assert main(["trace-attribution", recorded_trace]) == 0
+        out = capsys.readouterr().out
+        assert "slo attribution" in out
+        assert "attainment" in out
+
+    def test_json_and_html_artifacts(self, capsys, recorded_trace, tmp_path):
+        out_json = tmp_path / "attr.json"
+        out_html = tmp_path / "attr.html"
+        assert main([
+            "trace-attribution", recorded_trace,
+            "--json", str(out_json), "--html", str(out_html),
+        ]) == 0
+        doc = json.loads(out_json.read_text())
+        assert doc["schema"] == "repro.attribution/1"
+        assert out_html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_explicit_slo_override(self, capsys, recorded_trace):
+        # A 10-second deadline makes every span compliant.
+        assert main([
+            "trace-attribution", recorded_trace, "--slo", "10000",
+        ]) == 0
+        assert "no SLO violations" in capsys.readouterr().out
+
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["trace-attribution", "/nonexistent/run.jsonl"]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_trace_without_slo_is_clean_error(self, capsys, tmp_path):
+        path = _write_trace(tmp_path, slo_seconds=None, spans=[(0.0, 0.05)])
+        assert main(["trace-attribution", path]) == 1
+        assert "slo_seconds" in capsys.readouterr().out
+
+
+class TestTraceDiff:
+    def test_self_diff_reports_zero_deltas(self, capsys, recorded_trace):
+        assert main(["trace-diff", recorded_trace, recorded_trace]) == 0
+        assert "traces are equivalent: zero deltas" in (
+            capsys.readouterr().out
+        )
+
+    def test_missing_file_is_clean_error(self, capsys, recorded_trace):
+        assert main([
+            "trace-diff", recorded_trace, "/nonexistent/run.jsonl",
+        ]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_parser_accepts_slo_override(self):
+        args = build_parser().parse_args(
+            ["trace-diff", "a.jsonl", "b.jsonl", "--slo", "300"]
+        )
+        assert args.baseline == "a.jsonl"
+        assert args.candidate == "b.jsonl"
+        assert args.slo == pytest.approx(300.0)

@@ -49,3 +49,11 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "provider totals" in out
         assert "bert" in out
+
+    def test_slo_attribution(self, capsys):
+        mod = run_example("slo_attribution.py")
+        mod["main"]()
+        out = capsys.readouterr().out
+        assert "slo attribution" in out
+        assert "attribution.html" in out
+        assert "trace diff" in out

@@ -41,17 +41,36 @@ class TestHistogram:
         assert h.mean == pytest.approx(5.0 / 3)
         assert h.counts == [1, 1, 1]
 
-    def test_quantile_bucket_resolution(self):
+    def test_quantile_exact_below_cap(self):
         h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
         for v in (0.5, 0.6, 1.5, 3.0):
             h.observe(v)
-        assert h.quantile(0.5) == 1.0
-        assert h.quantile(1.0) == 4.0
+        assert h.exact
+        assert h.quantile(0.5) == 0.6
+        assert h.quantile(1.0) == 3.0
+        assert h.quantile(0.0) == 0.5
 
-    def test_overflow_bucket_reports_inf(self):
+    def test_quantile_degrades_to_bucket_resolution_past_cap(self):
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        h.RAW_SAMPLE_CAP = 3  # instance override: force early degradation
+        for v in (0.5, 0.6, 1.5, 3.0):
+            h.observe(v)
+        assert not h.exact
+        assert h.quantile(0.5) == 1.0  # bucket upper bound, not 0.6
+        assert h.quantile(1.0) == 4.0
+        # Aggregates never degrade.
+        assert h.n == 4 and h.mean == pytest.approx(5.6 / 4)
+
+    def test_overflow_bucket_reports_inf_past_cap(self):
         h = Histogram("lat", bounds=(1.0,))
+        h.RAW_SAMPLE_CAP = 0
         h.observe(10.0)
         assert h.quantile(0.99) == float("inf")
+
+    def test_overflow_value_exact_below_cap(self):
+        h = Histogram("lat", bounds=(1.0,))
+        h.observe(10.0)
+        assert h.quantile(0.99) == 10.0
 
     def test_empty_quantile_is_zero(self):
         assert Histogram("lat").quantile(0.5) == 0.0

@@ -1,0 +1,144 @@
+"""Tests for the live SLO burn-rate monitor."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import SLOMonitor, Tracer
+
+SLO_S = 0.200
+
+
+def make_monitor(tracer=None, **kw):
+    kw.setdefault("window_seconds", 30.0)
+    kw.setdefault("compliance_goal", 0.99)
+    kw.setdefault("burn_rate_threshold", 2.0)
+    kw.setdefault("min_window_requests", 20)
+    return SLOMonitor(SLO_S, tracer=tracer, **kw)
+
+
+def latencies(n_ok, n_bad):
+    return np.concatenate([
+        np.full(n_ok, 0.05), np.full(n_bad, 0.5)
+    ]) if n_ok or n_bad else np.array([])
+
+
+class TestWindowStats:
+    def test_burn_rate_is_violation_rate_over_error_budget(self):
+        m = make_monitor()
+        # 5 violations in 100 requests = 5% violation rate against a 1%
+        # error budget -> burn rate 5.
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(95, 5))
+        stats = {(s.scope, s.key): s for s in m.window_stats(1.0)}
+        s = stats[("model", "resnet50")]
+        assert s.n_requests == 100
+        assert s.n_violations == 5
+        assert s.attainment == pytest.approx(0.95)
+        assert s.burn_rate == pytest.approx(5.0)
+
+    def test_both_scopes_tracked(self):
+        m = make_monitor()
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(10, 0))
+        keys = {(s.scope, s.key) for s in m.window_stats(1.0)}
+        assert keys == {("model", "resnet50"), ("hardware", "g3s.xlarge")}
+
+    def test_old_entries_evicted(self):
+        m = make_monitor(window_seconds=30.0)
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(50, 50))
+        s = m.window_stats(100.0)[0]
+        assert s.n_requests == 0
+        assert s.attainment == 1.0
+        assert s.burn_rate == 0.0
+
+    def test_p99_reflects_window(self):
+        m = make_monitor()
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(99, 1))
+        s = {(x.scope, x.key): x for x in m.window_stats(1.0)}[
+            ("model", "resnet50")
+        ]
+        assert s.p99_seconds > 0.05
+
+    def test_empty_observation_ignored(self):
+        m = make_monitor()
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", np.array([]))
+        assert m.window_stats(1.0) == []
+
+
+class TestAlerts:
+    def test_firing_is_edge_triggered(self):
+        tracer = Tracer()
+        m = make_monitor(tracer=tracer)
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(90, 10))
+        m.sample(1.0)
+        firing = [e for e in tracer.events_named("slo_alert")
+                  if e.attrs["state"] == "firing"]
+        assert len(firing) == 2  # model + hardware window
+        # A window that stays bad does not re-fire.
+        m.sample(2.0)
+        m.sample(3.0)
+        assert len(tracer.events_named("slo_alert")) == 2
+        assert m.firing_keys == [
+            ("hardware", "g3s.xlarge"), ("model", "resnet50")
+        ]
+
+    def test_resolved_when_burn_drops(self):
+        tracer = Tracer()
+        m = make_monitor(tracer=tracer, window_seconds=10.0)
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(80, 20))
+        m.sample(1.0)
+        assert m.firing_keys
+        # Window slides past the bad burst; healthy traffic replaces it.
+        m.observe_batch(20.0, "resnet50", "g3s.xlarge", latencies(100, 0))
+        m.sample(21.0)
+        resolved = [e for e in tracer.events_named("slo_alert")
+                    if e.attrs["state"] == "resolved"]
+        assert len(resolved) == 2
+        assert m.firing_keys == []
+        assert m.alerts_emitted == 4
+
+    def test_alert_event_schema(self):
+        tracer = Tracer()
+        m = make_monitor(tracer=tracer)
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(50, 50))
+        m.sample(1.0)
+        e = tracer.events_named("slo_alert")[0]
+        assert e.cat == "alert"
+        assert e.track == "slo-monitor"
+        for key in ("state", "scope", "key", "attainment", "p99_seconds",
+                    "burn_rate", "burn_rate_threshold", "window_seconds",
+                    "n_requests", "n_violations", "slo_seconds"):
+            assert key in e.attrs, key
+
+    def test_sparse_windows_never_fire(self):
+        m = make_monitor(min_window_requests=20)
+        # One violating request in a near-idle window is noise.
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(0, 1))
+        m.sample(1.0)
+        assert m.firing_keys == []
+        assert m.alerts_emitted == 0
+
+    def test_sample_returns_post_transition_flags(self):
+        m = make_monitor()
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(50, 50))
+        stats = m.sample(1.0)
+        assert all(s.firing for s in stats)
+
+    def test_no_tracer_still_tracks_state(self):
+        m = make_monitor(tracer=None)
+        m.observe_batch(0.0, "resnet50", "g3s.xlarge", latencies(50, 50))
+        m.sample(1.0)
+        assert m.firing_keys
+        assert m.alerts_emitted == 2
+
+
+class TestValidation:
+    def test_bad_slo_rejected(self):
+        with pytest.raises(ValueError):
+            SLOMonitor(0.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            SLOMonitor(SLO_S, window_seconds=0.0)
+
+    def test_bad_goal_rejected(self):
+        with pytest.raises(ValueError):
+            SLOMonitor(SLO_S, compliance_goal=1.0)
