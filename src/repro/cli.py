@@ -13,8 +13,11 @@ Commands
     a Prometheus text-format metrics snapshot.
 ``compare MODEL [...]``
     All schemes side by side on the same trace.
-``experiment ID [...]``
+``experiment ID [--no-cache] [--cache-dir DIR] [...]``
     Regenerate one paper figure/table (fig1, fig3, ..., table3, ablations).
+    The available IDs derive from the experiment registry
+    (:mod:`repro.experiments.registry`); matrix cells are replayed from
+    the on-disk result cache when their content hash is unchanged.
 ``trace-report FILE``
     Post-mortem a recorded JSONL trace: latency breakdown, Algorithm 1
     decision audit, switches, leases.
@@ -49,21 +52,16 @@ from repro.analysis.attribution import (
 from repro.analysis.report import emit, render_kv, render_table, scheme_label
 from repro.analysis.trace_diff import diff_traces, render_trace_diff
 from repro.analysis.trace_report import render_trace_report
-from repro.experiments import (
-    ablations,
-    fig01,
-    fig03,
-    fig04,
-    fig05,
-    fig06,
-    fig07,
-    fig08,
-    fig09_10,
-    fig11,
-    fig12,
-    fig13,
-    table2,
-    table3,
+from repro.experiments import table2
+from repro.experiments.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    set_active_cache,
+)
+from repro.experiments.registry import (
+    all_experiments,
+    experiment_ids,
+    get_experiment,
 )
 from repro.experiments.schemes import SCHEMES, make_policy
 from repro.framework.slo import SLO
@@ -89,22 +87,6 @@ from repro.workloads.traces import (
 __all__ = ["main", "build_parser", "configure_logging"]
 
 logger = logging.getLogger(__name__)
-
-_EXPERIMENTS = {
-    "fig1": lambda a: fig01.run(duration=a.duration, seed=a.seed),
-    "fig3": lambda a: fig03.run(duration=a.duration, repetitions=a.repetitions),
-    "fig4": lambda a: fig04.run(duration=a.duration, repetitions=1),
-    "fig5": lambda a: fig05.run(duration=a.duration, repetitions=a.repetitions),
-    "fig6": lambda a: fig06.run(duration=a.duration, repetitions=1),
-    "fig7": lambda a: fig07.run(duration=a.duration, repetitions=a.repetitions),
-    "fig8": lambda a: fig08.run(duration=a.duration, repetitions=a.repetitions),
-    "fig9_10": lambda a: fig09_10.run(duration=a.duration, repetitions=a.repetitions),
-    "fig11": lambda a: fig11.run(duration=a.duration, repetitions=a.repetitions),
-    "fig12": lambda a: fig12.run(duration=a.duration, repetitions=a.repetitions),
-    "fig13": lambda a: fig13.run(duration=a.duration, repetitions=a.repetitions),
-    "table2": lambda a: table2.run(),
-    "table3": lambda a: table3.run(duration=a.duration, repetitions=a.repetitions),
-}
 
 _TRACES: dict[str, Callable] = {
     "azure": lambda model, duration, seed: azure_trace(
@@ -197,10 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", parents=[common],
                        help="regenerate a paper figure/table")
-    p.add_argument("experiment_id", choices=sorted(_EXPERIMENTS) + ["ablations"])
+    p.add_argument("experiment_id", choices=experiment_ids())
     p.add_argument("--duration", type=float, default=300.0)
     p.add_argument("--repetitions", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every matrix cell instead of replaying the "
+        "on-disk result cache",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
 
     p = sub.add_parser("trace-report", parents=[common],
                        help="post-mortem a recorded JSONL trace")
@@ -343,12 +334,30 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    if args.experiment_id == "ablations":
-        for report in ablations.run(duration=args.duration):
-            emit(report.rendered())
+    entry = get_experiment(args.experiment_id)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    previous = set_active_cache(cache)
+    try:
+        reports = entry.reports(
+            duration=args.duration,
+            repetitions=args.repetitions,
+            seed=args.seed,
+        )
+    finally:
+        set_active_cache(previous)
+    for i, report in enumerate(reports):
+        if i:
             emit("")
-        return 0
-    emit(_EXPERIMENTS[args.experiment_id](args).rendered())
+        emit(report.rendered())
+    if cache is not None and (cache.n_hits or cache.n_misses):
+        logger.debug(
+            "result cache: %d hits, %d misses, %d stored (%s)",
+            cache.n_hits, cache.n_misses, cache.n_stores, cache.cache_dir,
+        )
+        emit(
+            f"cache: replayed {cache.n_hits}/{cache.n_hits + cache.n_misses} "
+            f"cells from {cache.cache_dir}"
+        )
     return 0
 
 
@@ -411,9 +420,9 @@ def _cmd_list(args) -> int:
     lines.append("")
     lines.append("schemes: " + ", ".join(list(SCHEMES) + ["oracle"]))
     lines.append("traces: " + ", ".join(sorted(_TRACES)))
-    lines.append(
-        "experiments: " + ", ".join(sorted(_EXPERIMENTS) + ["ablations"])
-    )
+    lines.append("experiments:")
+    for entry in all_experiments():
+        lines.append(f"  {entry.id:12s} {entry.title}")
     emit("\n".join(lines))
     return 0
 

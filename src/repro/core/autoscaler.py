@@ -68,6 +68,8 @@ class Autoscaler:
         keep_alive_seconds: float = 600.0,
         interval_seconds: float = 10.0,
         plan_horizon_seconds: float = 1.0,
+        *,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.model = model
         self.profiles = profiles
@@ -76,8 +78,10 @@ class Autoscaler:
         self.keep_alive_seconds = float(keep_alive_seconds)
         self.interval_seconds = float(interval_seconds)
         self.plan_horizon_seconds = float(plan_horizon_seconds)
-        #: Decision-audit sink (bound by the framework when tracing).
-        self.tracer: Tracer = NULL_TRACER
+        #: Decision-audit sink.  Assigning ``.tracer`` after construction
+        #: still works (the framework's pre-injection idiom) but new code
+        #: should pass ``tracer=`` here.
+        self.tracer: Tracer = tracer
 
     # ------------------------------------------------------------------
     def reactive(self, pool: ContainerPool, n_containers: int) -> int:

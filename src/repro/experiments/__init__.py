@@ -24,12 +24,23 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.cache import ResultCache, get_active_cache, set_active_cache
+from repro.experiments.registry import (
+    ExperimentEntry,
+    all_experiments,
+    experiment_ids,
+    get_experiment,
+    register_experiment,
+)
 from repro.experiments.runner import CellSpec, MatrixResult, run_cell, run_matrix
 from repro.experiments.schemes import SCHEMES, make_policy
 
 __all__ = [
-    "CellSpec", "ExperimentReport", "MatrixResult", "PAPER_CLAIMS",
-    "SCHEMES", "ablations", "fig01", "fig03", "fig04", "fig05", "fig06",
-    "fig07", "fig08", "fig09_10", "fig11", "fig12", "fig13", "make_policy",
-    "run_cell", "run_matrix", "sweeps", "table2", "table3",
+    "CellSpec", "ExperimentEntry", "ExperimentReport", "MatrixResult",
+    "PAPER_CLAIMS", "ResultCache", "SCHEMES", "ablations",
+    "all_experiments", "experiment_ids", "fig01", "fig03", "fig04",
+    "fig05", "fig06", "fig07", "fig08", "fig09_10", "fig11", "fig12",
+    "fig13", "get_active_cache", "get_experiment", "make_policy",
+    "register_experiment", "run_cell", "run_matrix", "set_active_cache",
+    "sweeps", "table2", "table3",
 ]

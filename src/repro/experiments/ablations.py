@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.core.paldia import PaldiaPolicy
 from repro.experiments.base import ExperimentReport
+from repro.experiments.registry import register_experiment
 from repro.framework.slo import SLO
 from repro.framework.system import RunConfig, ServerlessRun
 from repro.hardware.profiles import ProfileService
@@ -138,6 +139,7 @@ def run_contention_awareness(
     )
 
 
+@register_experiment("ablations", title="Design-choice ablations", supports_repetitions=False, multi_report=True)
 def run(duration: float = 600.0, seed: int = 1) -> list[ExperimentReport]:
     """Run every ablation."""
     return [

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.motivation import (
     MOTIVATION_SCHEMES,
     run_motivation_scheme,
@@ -20,6 +21,7 @@ from repro.experiments.motivation import (
 __all__ = ["run"]
 
 
+@register_experiment("fig1", title="Status-quo schemes on the static hybrid baseline", supports_repetitions=False, takes_seed=True)
 def run(
     duration: float = 240.0,
     seed: int = 0,

@@ -11,6 +11,7 @@ from typing import Optional
 
 from repro.analysis.breakdown import tail_breakdown_of
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_matrix
 from repro.experiments.schemes import SCHEMES
 from repro.experiments.trace_factories import azure_factory
@@ -20,6 +21,7 @@ __all__ = ["run", "MODELS"]
 MODELS = ("resnet50", "vgg19")
 
 
+@register_experiment("fig4", title="Violation latency breakdown", supports_repetitions=False)
 def run(
     duration: float = 600.0,
     repetitions: int = 1,

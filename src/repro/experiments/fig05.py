@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_matrix
 from repro.experiments.schemes import SCHEMES
 from repro.experiments.trace_factories import azure_factory
@@ -19,6 +20,7 @@ __all__ = ["run", "MODELS"]
 MODELS = ("dpn92", "efficientnet_b0")
 
 
+@register_experiment("fig5", title="Serving cost across vision models")
 def run(
     duration: float = 600.0,
     repetitions: int = 2,

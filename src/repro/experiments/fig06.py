@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.analysis.stats import percentile
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_matrix
 from repro.experiments.schemes import SCHEMES
 from repro.experiments.trace_factories import azure_factory
@@ -22,6 +23,7 @@ MODEL = "senet18"
 PERCENTILES = (50.0, 80.0, 90.0, 95.0, 99.0)
 
 
+@register_experiment("fig6", title="Latency percentile curves", supports_repetitions=False)
 def run(
     duration: float = 600.0,
     repetitions: int = 1,

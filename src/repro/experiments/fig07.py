@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.analysis.stats import mean_without_outliers, normalize
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_matrix
 from repro.experiments.schemes import SCHEMES
 from repro.experiments.trace_factories import azure_factory
@@ -25,6 +26,7 @@ GOODPUT_MODEL = "densenet121"
 POWER_MODEL = "simplified_dla"
 
 
+@register_experiment("fig7", title="Goodput during surges and normalized power")
 def run(
     duration: float = 600.0,
     repetitions: int = 2,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_matrix
 from repro.experiments.schemes import SCHEMES
 from repro.experiments.trace_factories import azure_factory
@@ -18,6 +19,7 @@ from repro.workloads.models import language_models
 __all__ = ["run"]
 
 
+@register_experiment("fig9_10", title="Language models: compliance and cost")
 def run(
     duration: float = 600.0,
     repetitions: int = 2,

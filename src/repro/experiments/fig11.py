@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_matrix
 from repro.experiments.trace_factories import azure_factory
 
@@ -17,6 +18,7 @@ __all__ = ["run", "DEFAULT_MODELS"]
 DEFAULT_MODELS = ("resnet50", "senet18", "densenet121", "efficientnet_b0")
 
 
+@register_experiment("fig11", title="Paldia vs the offline oracle")
 def run(
     duration: float = 600.0,
     repetitions: int = 2,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_matrix
 from repro.experiments.schemes import SCHEMES
 from repro.experiments.trace_factories import twitter_factory, wiki_factory
@@ -19,6 +20,7 @@ from repro.experiments.trace_factories import twitter_factory, wiki_factory
 __all__ = ["run"]
 
 
+@register_experiment("fig12", title="Wikipedia and Twitter trace sensitivity")
 def run(
     duration: float = 600.0,
     repetitions: int = 2,

@@ -16,6 +16,7 @@ from dataclasses import replace
 from typing import Optional
 
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_matrix
 from repro.experiments.schemes import SCHEMES
 from repro.experiments.trace_factories import azure_factory, poisson_factory
@@ -28,6 +29,7 @@ EXHAUSTION_MODEL = "googlenet"
 FAILURE_MODEL = "densenet121"
 
 
+@register_experiment("fig13", title="Resource exhaustion and node failures")
 def run(
     duration: float = 420.0,
     repetitions: int = 2,

@@ -1,0 +1,159 @@
+"""Declarative registry of paper figures/tables.
+
+Every experiment module registers its ``run`` entry point exactly once,
+in its own file, with :func:`register_experiment`::
+
+    @register_experiment("fig7", title="Goodput under surges + power")
+    def run(duration=600.0, repetitions=2, ...):
+        ...
+
+Everything downstream — ``python -m repro experiment <id>`` argparse
+choices, ``python -m repro list`` output, the benchmark harness, docs —
+derives from this one registry.  Adding a new experiment means decorating
+its ``run`` function; no experiment is named in two places and nothing in
+``cli.py`` changes.
+
+CLI argument mapping is declarative:
+
+* ``supports_repetitions=True`` (default) passes the CLI's
+  ``--repetitions``; ``False`` pins ``repetitions=1`` when the function
+  accepts the parameter (Figs 4 and 6 average within a single seeded run)
+  and passes nothing otherwise (Fig 1, Table II, ablations).
+* ``takes_duration``/``takes_seed`` forward ``--duration``/``--seed``.
+* ``multi_report=True`` marks entry points returning a *list* of
+  :class:`~repro.experiments.base.ExperimentReport` (the ablations).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "ExperimentEntry",
+    "all_experiments",
+    "experiment_ids",
+    "get_experiment",
+    "register_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered figure/table reproduction."""
+
+    id: str
+    title: str
+    runner: Callable[..., Any]
+    supports_repetitions: bool = True
+    takes_duration: bool = True
+    takes_seed: bool = False
+    #: The runner returns a list of reports instead of a single one.
+    multi_report: bool = False
+
+    def cli_kwargs(
+        self,
+        duration: Optional[float] = None,
+        repetitions: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> dict[str, Any]:
+        """The keyword arguments this experiment draws from CLI flags."""
+        params = inspect.signature(self.runner).parameters
+        kwargs: dict[str, Any] = {}
+        if self.takes_duration and duration is not None:
+            kwargs["duration"] = duration
+        if "repetitions" in params:
+            if self.supports_repetitions:
+                if repetitions is not None:
+                    kwargs["repetitions"] = repetitions
+            else:
+                kwargs["repetitions"] = 1
+        if self.takes_seed and seed is not None:
+            kwargs["seed"] = seed
+        return kwargs
+
+    def invoke(
+        self,
+        duration: Optional[float] = None,
+        repetitions: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Any:
+        """Run the experiment with CLI-level arguments.
+
+        Returns one :class:`ExperimentReport`, or a list of them when
+        ``multi_report`` is set.
+        """
+        return self.runner(**self.cli_kwargs(duration, repetitions, seed))
+
+    def reports(self, **cli_args: Any) -> list:
+        """Like :meth:`invoke` but always a list, for uniform rendering."""
+        result = self.invoke(**cli_args)
+        return list(result) if self.multi_report else [result]
+
+
+_REGISTRY: dict[str, ExperimentEntry] = {}
+
+
+def register_experiment(
+    id: str,
+    *,
+    title: str,
+    supports_repetitions: bool = True,
+    takes_duration: bool = True,
+    takes_seed: bool = False,
+    multi_report: bool = False,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Class the decorated ``run`` function as experiment ``id``.
+
+    The decorator returns the function unchanged — modules keep their
+    plain ``run(...)`` API for tests and the benchmark harness.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        existing = _REGISTRY.get(id)
+        if existing is not None and existing.runner is not fn:
+            raise ValueError(
+                f"experiment id {id!r} already registered by "
+                f"{existing.runner.__module__}"
+            )
+        _REGISTRY[id] = ExperimentEntry(
+            id=id,
+            title=title,
+            runner=fn,
+            supports_repetitions=supports_repetitions,
+            takes_duration=takes_duration,
+            takes_seed=takes_seed,
+            multi_report=multi_report,
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    """Import the experiment package so every module self-registers."""
+    import repro.experiments  # noqa: F401  (import side effect)
+
+
+def get_experiment(id: str) -> ExperimentEntry:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {id!r}; known: {', '.join(experiment_ids())}"
+        ) from None
+
+
+def experiment_ids() -> list[str]:
+    """Sorted ids of every registered experiment."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_experiments() -> Iterator[ExperimentEntry]:
+    """Registered experiments in sorted-id order."""
+    _ensure_loaded()
+    for id in sorted(_REGISTRY):
+        yield _REGISTRY[id]

@@ -5,16 +5,42 @@ cells fan out over a process pool (seeded per cell, so results are
 reproducible regardless of scheduling order), following the hpc-parallel
 guides' pattern for embarrassingly parallel sweeps.  Repetitions are
 averaged with the paper's 2.5-sigma outlier rule.
+
+Fan-out economics
+-----------------
+* Workers build their :class:`~repro.hardware.profiles.ProfileService`
+  (and any restricted catalogs) **once per process** via a pool
+  initializer + per-worker memo, not once per cell — the profile database
+  is pure derived math, safe to share across cells.
+* ``chunksize`` scales with the matrix (``cells / (workers * 4)``), so a
+  300-cell sweep is not drip-fed one pickled spec at a time, while small
+  matrices still load-balance.
+* Results stream back as chunks complete (bounded memory, progress
+  logging) while preserving submission order, so ``MatrixResult`` is
+  bit-identical to a serial run.
+* Worker count honours the ``REPRO_MAX_WORKERS`` environment variable and
+  never exceeds the machine's cores (CI's 2-core runners stay
+  unoversubscribed).
+
+Caching
+-------
+When a :class:`~repro.experiments.cache.ResultCache` is active (CLI
+``--cache-dir`` / ``REPRO_CACHE_DIR``, or the ``cache=`` argument), each
+cell's deterministic content hash is consulted first and only missing
+cells are simulated; fresh results are stored back.  Re-rendering an
+unchanged figure therefore skips every cell.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.analysis.stats import RunSummary, summarize_runs
+from repro.experiments.cache import ResultCache, get_active_cache
 from repro.experiments.schemes import make_policy
 from repro.framework.slo import SLO
 from repro.framework.system import RunConfig, RunResult, ServerlessRun
@@ -23,6 +49,8 @@ from repro.workloads.models import ModelSpec, get_model
 from repro.workloads.traces import Trace
 
 __all__ = ["CellSpec", "MatrixResult", "run_cell", "run_matrix"]
+
+logger = logging.getLogger(__name__)
 
 #: The paper repeats every trace-driven experiment 5 times; benchmarks can
 #: dial this down for wall-clock economy.
@@ -51,18 +79,41 @@ class CellSpec:
     catalog_names: Optional[tuple[str, ...]] = None
 
 
+# ----------------------------------------------------------------------
+# Per-process profile database (shared across the cells a worker runs)
+# ----------------------------------------------------------------------
+#: Worker-local memo: catalog restriction -> ProfileService.  The profile
+#: database is pure derived math (no mutable run state), so one instance
+#: can serve every cell a worker executes.
+_WORKER_PROFILES: dict[Optional[tuple[str, ...]], ProfileService] = {}
+
+
+def _profiles_for(catalog_names: Optional[tuple[str, ...]]) -> ProfileService:
+    profiles = _WORKER_PROFILES.get(catalog_names)
+    if profiles is None:
+        if catalog_names is None:
+            profiles = ProfileService()
+        else:
+            from repro.hardware.catalog import default_catalog
+
+            profiles = ProfileService(
+                default_catalog().restricted(catalog_names)
+            )
+        _WORKER_PROFILES[catalog_names] = profiles
+    return profiles
+
+
+def _pool_initializer() -> None:
+    """Build the default catalog + profile database once per worker, so
+    no cell pays that setup cost inside its task."""
+    _profiles_for(None)
+
+
 def run_cell(spec: CellSpec) -> RunResult:
     """Execute one cell (used directly and as the process-pool task)."""
     model = get_model(spec.model_name)
     trace = spec.trace_factory(model, spec.seed)
-    if spec.catalog_names is not None:
-        from repro.hardware.catalog import default_catalog
-
-        profiles = ProfileService(
-            default_catalog().restricted(spec.catalog_names)
-        )
-    else:
-        profiles = ProfileService()
+    profiles = _profiles_for(spec.catalog_names)
     policy = make_policy(
         spec.scheme, model, profiles, spec.slo_seconds, trace=trace
     )
@@ -85,6 +136,10 @@ class MatrixResult:
     """All cells of an experiment, with per-(scheme, model) summaries."""
 
     results: list[RunResult]
+    #: Cells replayed from / missed in the result cache (0/0 when no
+    #: cache was active).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def cell_runs(self, scheme: str, model: str) -> list[RunResult]:
         return [
@@ -110,6 +165,22 @@ class MatrixResult:
         return list(seen)
 
 
+def _worker_count(n_tasks: int, n_cpus: int) -> int:
+    """Pool size: ``REPRO_MAX_WORKERS`` wins when set; otherwise leave one
+    core for the parent, and never exceed the cores that exist."""
+    env = os.environ.get("REPRO_MAX_WORKERS", "").strip()
+    if env:
+        try:
+            cap = int(env)
+        except ValueError:
+            logger.warning("ignoring non-integer REPRO_MAX_WORKERS=%r", env)
+        else:
+            if cap >= 1:
+                return max(1, min(cap, n_tasks))
+            logger.warning("ignoring non-positive REPRO_MAX_WORKERS=%r", env)
+    return max(1, min(n_cpus - 1, n_cpus, n_tasks))
+
+
 def run_matrix(
     schemes: Sequence[str],
     model_names: Sequence[str],
@@ -121,14 +192,20 @@ def run_matrix(
     parallel: Optional[bool] = None,
     keep_metrics: bool = False,
     catalog_names: Optional[tuple[str, ...]] = None,
+    cache: Union[ResultCache, bool, None] = None,
 ) -> MatrixResult:
     """Run the full (scheme x model x repetition) matrix.
 
     Parameters
     ----------
     parallel:
-        Fan cells out over a process pool.  Default: parallel when the
-        matrix has more than 4 cells and more than 2 CPUs are available.
+        Fan cells out over a process pool.  Default: parallel when more
+        than 4 cells still need computing and more than one worker is
+        available (see :func:`_worker_count`).
+    cache:
+        ``None`` (default) consults the process-wide active cache (CLI
+        ``--cache-dir`` / ``REPRO_CACHE_DIR``); ``False`` disables caching
+        for this call; a :class:`ResultCache` uses that instance.
     """
     base_config = config if config is not None else RunConfig()
     cells = [
@@ -146,13 +223,69 @@ def run_matrix(
         for scheme in schemes
         for rep in range(repetitions)
     ]
-    n_cpus = os.cpu_count() or 1
-    if parallel is None:
-        parallel = len(cells) > 4 and n_cpus > 2
-    if parallel:
-        workers = max(2, min(n_cpus - 1, len(cells)))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(run_cell, cells, chunksize=1))
+
+    if cache is False:
+        active_cache: Optional[ResultCache] = None
+    elif cache is None:
+        active_cache = get_active_cache()
     else:
-        results = [run_cell(c) for c in cells]
-    return MatrixResult(results=results)
+        active_cache = cache
+
+    results: list[Optional[RunResult]] = [None] * len(cells)
+    pending: list[int] = []
+    hits = 0
+    if active_cache is not None:
+        for i, spec in enumerate(cells):
+            cached = active_cache.get(spec)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+        hits = len(cells) - len(pending)
+        if hits:
+            logger.debug(
+                "result cache replayed %d/%d cells", hits, len(cells)
+            )
+    else:
+        pending = list(range(len(cells)))
+
+    n_cpus = os.cpu_count() or 1
+    workers = _worker_count(len(pending), n_cpus)
+    if parallel is None:
+        parallel = len(pending) > 4 and workers > 1
+    if parallel and pending:
+        # chunksize balances pickling overhead against load balance: ~4
+        # chunks per worker keeps stragglers short without per-cell IPC.
+        chunksize = max(1, len(pending) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_initializer
+        ) as pool:
+            # pool.map streams completed chunks back in submission order,
+            # so memory stays bounded and MatrixResult ordering matches a
+            # serial run exactly.
+            done = 0
+            for idx, result in zip(
+                pending,
+                pool.map(run_cell, [cells[i] for i in pending],
+                         chunksize=chunksize),
+            ):
+                results[idx] = result
+                if active_cache is not None:
+                    active_cache.put(cells[idx], result)
+                done += 1
+                if done % max(1, len(pending) // 10) == 0:
+                    logger.debug(
+                        "matrix progress: %d/%d cells", done, len(pending)
+                    )
+    else:
+        for idx in pending:
+            result = run_cell(cells[idx])
+            results[idx] = result
+            if active_cache is not None:
+                active_cache.put(cells[idx], result)
+    assert all(r is not None for r in results)
+    return MatrixResult(
+        results=results,  # type: ignore[arg-type]
+        cache_hits=hits,
+        cache_misses=len(pending) if active_cache is not None else 0,
+    )

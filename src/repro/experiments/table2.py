@@ -8,6 +8,7 @@ consumes).
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentReport
+from repro.experiments.registry import register_experiment
 from repro.hardware.catalog import default_catalog
 from repro.hardware.profiles import ProfileService
 from repro.workloads.models import get_model
@@ -15,6 +16,7 @@ from repro.workloads.models import get_model
 __all__ = ["run"]
 
 
+@register_experiment("table2", title="Hardware catalog and profiled rows", supports_repetitions=False, takes_duration=False)
 def run(profile_model: str = "resnet50", slo_seconds: float = 0.200) -> ExperimentReport:
     """Render Table II plus the derived profile rows for one model."""
     catalog = default_catalog()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
+from repro.experiments.registry import register_experiment
 from repro.experiments.runner import run_matrix
 from repro.experiments.schemes import SCHEMES
 from repro.experiments.trace_factories import azure_factory
@@ -21,6 +22,7 @@ __all__ = ["run", "MODEL"]
 MODEL = "resnet50"
 
 
+@register_experiment("table3", title="SeBS co-location sensitivity")
 def run(
     duration: float = 600.0,
     repetitions: int = 2,

@@ -153,10 +153,13 @@ class ServerlessRun:
         The request SLO.
     config:
         Framework knobs.
+    sim / cluster:
+        Keyword-only injection points for shared-clock (multi-model)
+        deployments.
     tracer:
-        Telemetry sink.  Defaults to the shared disabled tracer: no spans,
-        no decision events, no sampler events — the run is bit-identical
-        to an untraced one.
+        Telemetry sink (keyword-only).  Defaults to the shared disabled
+        tracer: no spans, no decision events, no sampler events — the run
+        is bit-identical to an untraced one.
     """
 
     def __init__(
@@ -167,10 +170,32 @@ class ServerlessRun:
         profiles: Optional[ProfileService] = None,
         slo: Optional[SLO] = None,
         config: Optional[RunConfig] = None,
+        *legacy: object,
         sim: Optional[Simulator] = None,
         cluster: Optional[Cluster] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        if legacy:
+            # One-release shim for the old positional (sim, cluster,
+            # tracer) tail; a TypeError next release.
+            import warnings
+
+            warnings.warn(
+                "passing sim/cluster/tracer to ServerlessRun positionally "
+                "is deprecated; use keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(legacy) > 3:
+                raise TypeError(
+                    f"ServerlessRun() takes at most 9 positional arguments "
+                    f"({6 + len(legacy)} given)"
+                )
+            sim = legacy[0]  # type: ignore[assignment]
+            if len(legacy) >= 2:
+                cluster = legacy[1]  # type: ignore[assignment]
+            if len(legacy) == 3:
+                tracer = legacy[2]  # type: ignore[assignment]
         self.model = model
         self.trace = trace
         self.policy = policy
@@ -200,8 +225,8 @@ class ServerlessRun:
             slo_seconds=self.slo.target_seconds,
             keep_alive_seconds=self.config.keep_alive_seconds,
             interval_seconds=self.config.autoscale_interval_seconds,
+            tracer=self.tracer,
         )
-        self.autoscaler.tracer = self.tracer
 
         self._current: Optional[NodeInstance] = None
         self._draining: list[NodeInstance] = []

@@ -124,8 +124,26 @@ class Cluster:
         catalog: HardwareCatalog,
         interference: InterferenceModel = DEFAULT_INTERFERENCE,
         seed: int = 0,
+        *legacy: object,
         tracer: Tracer = NULL_TRACER,
     ) -> None:
+        if legacy:
+            # One-release shim for positional tracer; a TypeError next
+            # release.
+            import warnings
+
+            warnings.warn(
+                "passing tracer to Cluster positionally is deprecated; "
+                "use tracer=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(legacy) > 1:
+                raise TypeError(
+                    f"Cluster() takes at most 5 positional arguments "
+                    f"({4 + len(legacy)} given)"
+                )
+            tracer = legacy[0]  # type: ignore[assignment]
         self.sim = sim
         self.catalog = catalog
         self.interference = interference

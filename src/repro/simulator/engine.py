@@ -15,8 +15,21 @@ Design notes
   virtual-dispatch event objects for the event volumes we simulate (~1e5-1e6
   events per trace), and the hpc-parallel guides' advice is to keep the hot
   loop free of unnecessary allocation.
-* Cancellation is handled with a tombstone flag on the heap entry rather than
-  heap surgery (O(1) cancel, lazily popped).
+* Heap entries *are* the schedule handles: each is a 4-slot
+  ``[time, priority, seq, fn]`` list (an :class:`Event`, a ``list`` subclass
+  with empty ``__slots__``), so ``heapq`` orders entries with the list
+  type's C-level comparison instead of a generated dataclass ``__lt__``.
+  The unique ``seq`` in slot 2 guarantees the callback in slot 3 is never
+  reached during comparison.  One allocation per event, C-speed ordering.
+* Cancellation is handled with a tombstone rather than heap surgery:
+  :meth:`Event.cancel` nulls the callback slot (O(1)); tombstoned entries
+  are skipped when popped.
+* :meth:`Simulator.run` samples the profiler once at entry and selects a
+  profiled or unprofiled loop body, so the common (unprofiled) hot loop
+  pays no per-event profiler check at all.  See
+  ``docs/PERFORMANCE.md`` for measurements; the seed dataclass engine is
+  preserved in :mod:`repro.simulator._reference` as the golden-trace and
+  benchmark baseline.
 """
 
 from __future__ import annotations
@@ -24,11 +37,16 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+import warnings
 from time import perf_counter
-from typing import Any, Callable, Optional, Protocol
+from typing import Callable, Optional, Protocol
 
 __all__ = ["Event", "Simulator", "SimulationError", "DispatchProfiler"]
+
+#: Module-level aliases save an attribute lookup per schedule/dispatch.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_INF = math.inf
 
 
 class DispatchProfiler(Protocol):
@@ -49,36 +67,54 @@ class SimulationError(RuntimeError):
     """
 
 
-@dataclass(order=True)
-class Event:
-    """A scheduled callback, orderable by ``(time, priority, seq)``.
+class Event(list):
+    """A scheduled callback: the heap entry ``[time, priority, seq, fn]``.
 
-    Attributes
-    ----------
-    time:
-        Absolute simulation time (seconds) at which the callback fires.
-    priority:
-        Secondary ordering key; lower fires first among same-time events.
-        Devices use priority 0 (state updates) and policies use priority 10
-        (decisions observe post-update state).
-    seq:
-        Monotonic tie-breaker assigned by the simulator.
-    fn:
-        The callback.  Called with no arguments; closures carry context.
-    cancelled:
-        Tombstone flag.  Cancelled events stay in the heap and are skipped
-        when popped.
+    The entry doubles as the cancellation handle returned by
+    :meth:`Simulator.schedule`.  It subclasses ``list`` with empty
+    ``__slots__`` so construction (``Event((t, p, seq, fn))``) and heap
+    ordering both run at C speed; the named accessors below exist for call
+    sites and tests, never for the hot loop.
+
+    Ordering is ``(time, priority, seq)``: lower ``priority`` fires first
+    among same-time events (devices use 0 for state updates, policies 10 so
+    decisions observe post-update state), and the monotonic ``seq`` makes
+    every entry unique — the callback slot is never compared.
     """
 
-    time: float
-    priority: int
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ()
+
+    # Construction goes through the inherited (C-level) list.__init__:
+    #     Event((time, priority, seq, fn))
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time (seconds) at which the callback fires."""
+        return self[0]
+
+    @property
+    def priority(self) -> int:
+        """Secondary ordering key; lower fires first among same-time events."""
+        return self[1]
+
+    @property
+    def seq(self) -> int:
+        """Monotonic tie-breaker assigned by the simulator."""
+        return self[2]
+
+    @property
+    def fn(self) -> Optional[Callable[[], None]]:
+        """The callback (``None`` once cancelled)."""
+        return self[3]
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` tombstoned this entry."""
+        return self[3] is None
 
     def cancel(self) -> None:
         """Mark this event as cancelled; it will never fire."""
-        self.cancelled = True
+        self[3] = None
 
 
 class Simulator:
@@ -89,10 +125,11 @@ class Simulator:
     start_time:
         Initial clock value in seconds (default 0.0).
     profiler:
-        Optional :class:`DispatchProfiler`.  When attached, every
-        dispatched callback is timed with ``perf_counter`` and credited
-        to its callback site; when absent the hot loop pays a single
-        ``is None`` check per event.
+        Optional :class:`DispatchProfiler` (keyword-only).  When attached,
+        every dispatched callback is timed with ``perf_counter`` and
+        credited to its callback site; when absent the hot loop pays no
+        per-event check — :meth:`run` selects the unprofiled loop body
+        once at entry.
 
     Examples
     --------
@@ -107,8 +144,24 @@ class Simulator:
     def __init__(
         self,
         start_time: float = 0.0,
+        *legacy,
         profiler: Optional[DispatchProfiler] = None,
     ) -> None:
+        if legacy:
+            warnings.warn(
+                "passing Simulator(profiler) positionally is deprecated; "
+                "use the keyword-only profiler=... form",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(legacy) > 1:
+                raise TypeError(
+                    f"Simulator() takes at most 2 positional arguments "
+                    f"({2 + len(legacy)} given)"
+                )
+            if profiler is not None:
+                raise TypeError("profiler given positionally and by keyword")
+            profiler = legacy[0]
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = itertools.count()
@@ -118,7 +171,11 @@ class Simulator:
         self._profiler = profiler
 
     def set_profiler(self, profiler: Optional[DispatchProfiler]) -> None:
-        """Attach (or detach, with ``None``) a dispatch profiler."""
+        """Attach (or detach, with ``None``) a dispatch profiler.
+
+        Sampled at :meth:`run` entry (and per :meth:`step`), so attaching
+        from *inside* a running callback takes effect on the next run.
+        """
         self._profiler = profiler
 
     # ------------------------------------------------------------------
@@ -151,24 +208,32 @@ class Simulator:
         Event
             Handle that can be cancelled with :meth:`Event.cancel`.
         """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule {delay}s in the past")
-        if math.isnan(delay) or math.isinf(delay):
+        # One chained comparison rejects negative, inf, and NaN delays
+        # (NaN fails every comparison) without three math.* calls.
+        if not 0.0 <= delay < _INF:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule {delay}s in the past")
             raise SimulationError(f"non-finite delay: {delay!r}")
-        return self.schedule_at(self._now + delay, fn, priority)
+        if fn is None:
+            raise SimulationError("event callback must be callable, not None")
+        ev = Event((self._now + delay, priority, next(self._seq), fn))
+        _heappush(self._heap, ev)
+        return ev
 
     def schedule_at(
         self, time: float, fn: Callable[[], None], priority: int = 0
     ) -> Event:
         """Schedule ``fn`` at absolute simulation time ``time``."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at t={time} (now={self._now})"
-            )
-        if math.isnan(time) or math.isinf(time):
+        if not self._now <= time < _INF:
+            if time < self._now:
+                raise SimulationError(
+                    f"cannot schedule at t={time} (now={self._now})"
+                )
             raise SimulationError(f"non-finite event time: {time!r}")
-        ev = Event(time=float(time), priority=priority, seq=next(self._seq), fn=fn)
-        heapq.heappush(self._heap, ev)
+        if fn is None:
+            raise SimulationError("event callback must be callable, not None")
+        ev = Event((float(time), priority, next(self._seq), fn))
+        _heappush(self._heap, ev)
         return ev
 
     # ------------------------------------------------------------------
@@ -182,19 +247,21 @@ class Simulator:
         bool
             ``True`` if an event fired; ``False`` if the heap is empty.
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+        heap = self._heap
+        while heap:
+            entry = _heappop(heap)
+            fn = entry[3]
+            if fn is None:  # tombstoned by Event.cancel
                 continue
-            self._now = ev.time
+            self._now = entry[0]
             self.n_dispatched += 1
             prof = self._profiler
             if prof is None:
-                ev.fn()
+                fn()
             else:
                 t0 = perf_counter()
-                ev.fn()
-                prof.record(ev.fn, perf_counter() - t0)
+                fn()
+                prof.record(fn, perf_counter() - t0)
             return True
         return False
 
@@ -209,18 +276,51 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         self._stopped = False
+        # Hot loop: locals for the heap and heappop, the profiler branch
+        # hoisted out of the loop, and `until` folded into an always-valid
+        # float limit (event times are validated finite at schedule time,
+        # so +inf means "never stop early").
+        heap = self._heap
+        pop = _heappop
+        prof = self._profiler
+        limit = math.inf if until is None else until
+        n = self.n_dispatched
         try:
-            while self._heap and not self._stopped:
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and nxt.time > until:
-                    break
-                self.step()
+            if prof is None:
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    fn = entry[3]
+                    if fn is None:  # tombstone: drop and keep going
+                        pop(heap)
+                        continue
+                    if entry[0] > limit:
+                        break
+                    pop(heap)
+                    self._now = entry[0]
+                    n += 1
+                    fn()
+            else:
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    fn = entry[3]
+                    if fn is None:
+                        pop(heap)
+                        continue
+                    if entry[0] > limit:
+                        break
+                    pop(heap)
+                    self._now = entry[0]
+                    n += 1
+                    t0 = perf_counter()
+                    fn()
+                    prof.record(fn, perf_counter() - t0)
             if until is not None and self._now < until:
                 self._now = float(until)
         finally:
+            # n_dispatched is maintained in a local and written back here
+            # (including on callback exceptions); nothing in the tree reads
+            # it mid-run, and the saving is real at ~1e6 events per trace.
+            self.n_dispatched = n
             self._running = False
 
     def stop(self) -> None:
@@ -229,7 +329,7 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return sum(1 for ev in self._heap if ev[3] is not None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

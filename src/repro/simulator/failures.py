@@ -64,10 +64,10 @@ class FailureInjector:
         Framework callbacks.  ``on_fail`` should evict and fail over;
         ``on_recover`` may switch back.
     horizon:
-        Stop injecting past this time (end of trace).
+        Stop injecting past this time (end of trace).  Keyword-only.
     tracer:
         Decision-audit sink; each injected outage emits paired
-        ``failure.inject`` / ``failure.recover`` events.
+        ``failure.inject`` / ``failure.recover`` events.  Keyword-only.
     """
 
     def __init__(
@@ -76,9 +76,29 @@ class FailureInjector:
         schedule: FailureSchedule,
         on_fail: Callable[[], None],
         on_recover: Callable[[], None],
+        *legacy: object,
         horizon: Optional[float] = None,
         tracer: Tracer = NULL_TRACER,
     ) -> None:
+        if legacy:
+            # One-release shim for the old positional (horizon, tracer)
+            # tail; will become a TypeError next release.
+            import warnings
+
+            warnings.warn(
+                "passing horizon/tracer to FailureInjector positionally is "
+                "deprecated; use keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(legacy) > 2:
+                raise TypeError(
+                    f"FailureInjector() takes at most 6 positional arguments "
+                    f"({4 + len(legacy)} given)"
+                )
+            horizon = legacy[0]  # type: ignore[assignment]
+            if len(legacy) == 2:
+                tracer = legacy[1]  # type: ignore[assignment]
         self.sim = sim
         self.schedule = schedule
         self.on_fail = on_fail

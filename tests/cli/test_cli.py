@@ -27,11 +27,66 @@ class TestParser:
         assert args.experiment_id == "table2"
 
 
+class TestCacheFlags:
+    def test_cache_on_by_default(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.no_cache is False
+        assert args.cache_dir == ".repro-cache"
+
+    def test_no_cache_flag(self):
+        args = build_parser().parse_args(
+            ["experiment", "table2", "--no-cache"]
+        )
+        assert args.no_cache is True
+
+    def test_custom_cache_dir(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig7", "--cache-dir", "/tmp/elsewhere"]
+        )
+        assert args.cache_dir == "/tmp/elsewhere"
+
+    def test_rerun_replays_from_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["experiment", "fig5", "--duration", "15",
+                "--repetitions", "1", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache: replayed" in second
+        # 100% of cells replayed: "replayed N/N".
+        line = next(l for l in second.splitlines()
+                    if l.startswith("cache: replayed"))
+        replayed, total = line.split()[2].split("/")
+        assert replayed == total and int(total) > 0
+        # The cached rerun renders the identical report.
+        strip = lambda s: [l for l in s.splitlines()
+                           if not l.startswith("cache:")]
+        assert strip(first) == strip(second)
+
+    def test_no_cache_disables_replay(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        base = ["experiment", "fig5", "--duration", "15",
+                "--repetitions", "1", "--cache-dir", cache_dir]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--no-cache"]) == 0
+        assert "cache: replayed" not in capsys.readouterr().out
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "resnet50" in out and "paldia" in out
+
+    def test_list_shows_registered_experiments(self, capsys):
+        from repro.experiments.registry import experiment_ids
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in experiment_ids():
+            assert experiment_id in out
 
     def test_profiles(self, capsys):
         assert main(["profiles", "bert"]) == 0

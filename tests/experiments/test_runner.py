@@ -4,7 +4,12 @@ from functools import partial
 
 import pytest
 
-from repro.experiments.runner import CellSpec, run_cell, run_matrix
+from repro.experiments.runner import (
+    CellSpec,
+    _worker_count,
+    run_cell,
+    run_matrix,
+)
 from repro.workloads.traces import constant_trace
 
 
@@ -90,3 +95,37 @@ class TestRunMatrix:
         b = par.summary("paldia", "resnet50")
         assert a.slo_compliance_percent == pytest.approx(b.slo_compliance_percent)
         assert a.cost_dollars == pytest.approx(b.cost_dollars)
+
+
+class TestWorkerCount:
+    """``REPRO_MAX_WORKERS`` caps the pool; CI's 2-core runners must
+    never be oversubscribed."""
+
+    def test_leaves_one_core_for_parent(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+        assert _worker_count(n_tasks=100, n_cpus=8) == 7
+        assert _worker_count(n_tasks=100, n_cpus=2) == 1
+
+    def test_never_exceeds_tasks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+        assert _worker_count(n_tasks=3, n_cpus=16) == 3
+
+    def test_single_core_machine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+        assert _worker_count(n_tasks=10, n_cpus=1) == 1
+
+    def test_env_cap_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        assert _worker_count(n_tasks=100, n_cpus=16) == 2
+
+    def test_env_cap_still_bounded_by_tasks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "8")
+        assert _worker_count(n_tasks=3, n_cpus=16) == 3
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "lots")
+        assert _worker_count(n_tasks=100, n_cpus=4) == 3
+
+    def test_nonpositive_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "0")
+        assert _worker_count(n_tasks=100, n_cpus=4) == 3

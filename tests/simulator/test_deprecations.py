@@ -1,0 +1,178 @@
+"""One-release positional-argument deprecation shims.
+
+The telemetry-injection redesign made ``tracer`` (and its neighbours)
+keyword-only across the framework.  Old positional call shapes keep
+working for one release behind ``DeprecationWarning`` shims; these tests
+pin both halves of that contract — the warning fires *and* the value
+still lands.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.autoscaler import Autoscaler
+from repro.core.predictor import EWMAPredictor
+from repro.framework.slo import SLO
+from repro.framework.system import ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import Simulator
+from repro.simulator.failures import FailureInjector, FailureSchedule
+from repro.telemetry import NULL_TRACER, Tracer
+from repro.workloads.models import get_model
+from repro.workloads.traces import constant_trace
+
+
+class TestSimulatorShim:
+    def test_positional_profiler_warns_but_works(self):
+        class Prof:
+            def __init__(self):
+                self.n = 0
+
+            def record(self, fn, seconds):
+                self.n += 1
+
+        prof = Prof()
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            sim = Simulator(0.0, prof)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert prof.n == 1
+
+    def test_keyword_profiler_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Simulator(profiler=None)
+
+
+class TestClusterShim:
+    def test_positional_tracer_warns_but_works(self):
+        tracer = Tracer()
+        profiles = ProfileService()
+        with pytest.warns(DeprecationWarning, match="tracer"):
+            cluster = Cluster(
+                Simulator(), profiles.catalog, profiles.interference, 0,
+                tracer,
+            )
+        assert cluster.tracer is tracer
+
+    def test_too_many_positionals_is_typeerror(self):
+        profiles = ProfileService()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                Cluster(
+                    Simulator(), profiles.catalog, profiles.interference,
+                    0, NULL_TRACER, "extra",
+                )
+
+    def test_keyword_tracer_is_silent(self):
+        profiles = ProfileService()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cluster = Cluster(
+                Simulator(), profiles.catalog, tracer=NULL_TRACER
+            )
+        assert cluster.tracer is NULL_TRACER
+
+
+class TestFailureInjectorShim:
+    def _make(self, *tail, **kw):
+        return FailureInjector(
+            Simulator(),
+            FailureSchedule(120.0, 60.0),
+            lambda: None,
+            lambda: None,
+            *tail,
+            **kw,
+        )
+
+    def test_positional_horizon_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="horizon"):
+            inj = self._make(250.0)
+        assert inj.horizon == 250.0
+
+    def test_positional_horizon_and_tracer(self):
+        tracer = Tracer()
+        with pytest.warns(DeprecationWarning):
+            inj = self._make(250.0, tracer)
+        assert inj.horizon == 250.0
+        assert inj.tracer is tracer
+
+    def test_keyword_form_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            inj = self._make(horizon=100.0, tracer=NULL_TRACER)
+        assert inj.horizon == 100.0
+
+
+class TestServerlessRunShim:
+    def _args(self):
+        model = get_model("resnet50")
+        profiles = ProfileService()
+        slo = SLO()
+        trace = constant_trace(5.0, 5.0)
+        from repro.experiments.schemes import make_policy
+
+        policy = make_policy(
+            "paldia", model, profiles, slo.target_seconds, trace
+        )
+        return model, trace, policy, profiles, slo
+
+    def test_positional_sim_warns_but_works(self):
+        model, trace, policy, profiles, slo = self._args()
+        sim = Simulator()
+        with pytest.warns(DeprecationWarning, match="sim/cluster/tracer"):
+            run = ServerlessRun(
+                model, trace, policy, profiles, slo, None, sim
+            )
+        assert run.sim is sim
+
+    def test_positional_tracer_tail(self):
+        model, trace, policy, profiles, slo = self._args()
+        tracer = Tracer()
+        with pytest.warns(DeprecationWarning):
+            run = ServerlessRun(
+                model, trace, policy, profiles, slo, None, None, None, tracer
+            )
+        assert run.tracer is tracer
+
+    def test_keyword_form_is_silent(self):
+        model, trace, policy, profiles, slo = self._args()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run = ServerlessRun(
+                model, trace, policy, profiles, slo, tracer=None
+            )
+        assert run.tracer is NULL_TRACER
+
+
+class TestAutoscalerTracer:
+    def _make(self, **kw):
+        return Autoscaler(
+            model=get_model("resnet50"),
+            profiles=ProfileService(),
+            predictor=EWMAPredictor(),
+            slo_seconds=0.2,
+            **kw,
+        )
+
+    def test_constructor_injection(self):
+        tracer = Tracer()
+        assert self._make(tracer=tracer).tracer is tracer
+
+    def test_defaults_to_null_tracer(self):
+        assert self._make().tracer is NULL_TRACER
+
+    def test_tracer_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            Autoscaler(
+                get_model("resnet50"), ProfileService(), EWMAPredictor(),
+                0.2, 600.0, 10.0, 1.0, Tracer(),
+            )
+
+    def test_post_hoc_assignment_still_works(self):
+        scaler = self._make()
+        tracer = Tracer()
+        scaler.tracer = tracer
+        assert scaler.tracer is tracer

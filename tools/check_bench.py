@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Gate engine-benchmark regressions against the committed baseline.
+
+``benchmarks/test_bench_engine.py`` records machine-independent speedup
+ratios (seed reference engine vs current engine, timed interleaved in one
+process) in ``BENCH_engine.current.json``.  This script compares them to
+the committed ``benchmarks/BENCH_engine.json`` and exits non-zero when
+any ratio has dropped more than ``--tolerance`` (default 25%) below its
+baseline — the CI contract from the engine-rewrite PR.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -q
+    python tools/check_bench.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "BENCH_engine.json")
+DEFAULT_CURRENT = os.path.join(
+    REPO_ROOT, "benchmarks", "BENCH_engine.current.json"
+)
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != 1:
+        sys.exit(f"{path}: unsupported schema {data.get('schema')!r}")
+    return data["benchmarks"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--current", default=DEFAULT_CURRENT)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop below baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    print(f"{'benchmark':<18} {'baseline':>9} {'current':>9} {'floor':>9}")
+    for name in sorted(baseline):
+        base = baseline[name]["value"]
+        floor = base * (1.0 - args.tolerance)
+        entry = current.get(name)
+        if entry is None:
+            print(f"{name:<18} {base:>9.3f} {'MISSING':>9} {floor:>9.3f}")
+            failures.append(f"{name}: missing from {args.current}")
+            continue
+        value = entry["value"]
+        status = "ok" if value >= floor else "REGRESSED"
+        print(f"{name:<18} {base:>9.3f} {value:>9.3f} {floor:>9.3f}  {status}")
+        if value < floor:
+            failures.append(
+                f"{name}: speedup {value:.3f} fell below "
+                f"{floor:.3f} ({100 * args.tolerance:.0f}% under the "
+                f"baseline {base:.3f})"
+            )
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
