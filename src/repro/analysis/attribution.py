@@ -6,7 +6,8 @@ TraceData`) and answers the two questions the evaluation revolves around:
 1. **Cause attribution** — for every SLO-violating request span, split the
    end-to-end latency across the recorded breakdown components
    (``batching_wait``, ``cold_start_wait``, ``queue_delay``, ``exec_solo``,
-   ``interference_extra``) plus an ``unattributed`` residual absorbing
+   ``interference_extra``, ``failure_wait``) plus an ``unattributed``
+   residual absorbing
    accounting slop, so the attributed seconds **sum exactly to the span's
    end-to-end latency** (the conservation property
    ``tests/analysis/test_attribution.py`` asserts to 1e-9).  The dominant
@@ -62,8 +63,11 @@ __all__ = [
     "render_attribution_report",
 ]
 
-#: Attribution buckets: the five recorded components plus the residual
-#: that makes the conservation property exact.
+#: Attribution buckets: the recorded components plus the residual that
+#: makes the conservation property exact.  ``failure_wait`` is the
+#: injected-fault bucket: failed dispatch attempts and straggler
+#: inflation land there, so fault-driven misses separate cleanly from
+#: scheduling-driven ones.
 ATTRIBUTION_CAUSES: tuple[str, ...] = BREAKDOWN_COMPONENTS + ("unattributed",)
 
 #: Fallback latency-budget fraction when a decision event predates the
@@ -121,6 +125,9 @@ class ViolationRecord:
     attributed: dict[str, float]
     dominant_cause: str
     counterfactual: Optional[CounterfactualVerdict] = None
+    #: Resilience-layer retries this batch went through (0 for traces
+    #: predating the retry path).
+    retries: int = 0
 
     @property
     def latency(self) -> float:
@@ -142,6 +149,7 @@ class ViolationRecord:
             "mode": self.mode,
             "slo_seconds": self.slo_seconds,
             "dominant_cause": self.dominant_cause,
+            "retries": self.retries,
             "attributed": dict(self.attributed),
             "counterfactual": (
                 self.counterfactual.as_dict()
@@ -183,6 +191,7 @@ def _attribute_span(
         slo_seconds=slo_seconds,
         attributed=attributed,
         dominant_cause=dominant,
+        retries=int(attrs.get("retries", 0) or 0),
     )
 
 
@@ -327,6 +336,8 @@ class AttributionReport:
     attainment: list[tuple[float, float]] = field(default_factory=list)
     #: Recorded ``slo_alert`` events (dicts straight from the trace).
     alerts: list[dict[str, Any]] = field(default_factory=list)
+    #: Counts of the resilience layer's ``retry.*`` events in the trace.
+    retry_summary: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_violating_requests(self) -> int:
@@ -380,6 +391,26 @@ class AttributionReport:
             out[label] = out.get(label, 0) + 1
         return out
 
+    def failure_labels(self) -> dict[str, int]:
+        """Split the fault-dominated violations by retry outcome.
+
+        A violating span whose dominant cause is ``failure_wait`` either
+        never got a retry (``avoidable-by-retry`` — the deadline-aware
+        retry policy could have re-driven it) or was retried and still
+        missed (``retried-still-late`` — the outage ate the whole SLO
+        budget, an unavoidable miss).  Spans dominated by other causes
+        are not counted here.
+        """
+        out = {"avoidable-by-retry": 0, "retried-still-late": 0}
+        for v in self.violations:
+            if v.dominant_cause != "failure_wait":
+                continue
+            if v.retries > 0:
+                out["retried-still-late"] += 1
+            else:
+                out["avoidable-by-retry"] += 1
+        return out
+
     def to_json(self) -> dict[str, Any]:
         """The machine-readable report (see docs/OBSERVABILITY.md for the
         schema).  Strictly JSON-serialisable: non-finite floats (an
@@ -396,6 +427,8 @@ class AttributionReport:
             "seconds_by_cause": self.seconds_by_cause(),
             "cause_table": self.cause_table(),
             "counterfactual_labels": self.counterfactual_counts(),
+            "failure_labels": self.failure_labels(),
+            "retry_summary": dict(self.retry_summary),
             "n_alerts": len(self.alerts),
             "violations": [v.as_dict() for v in self.violations],
         })
@@ -445,7 +478,7 @@ def attribute_trace(
                     start=v.start, end=v.end, n_requests=v.n_requests,
                     mode=v.mode, slo_seconds=v.slo_seconds,
                     attributed=v.attributed, dominant_cause=v.dominant_cause,
-                    counterfactual=verdict,
+                    counterfactual=verdict, retries=v.retries,
                 )
             )
         violations = joined
@@ -461,6 +494,11 @@ def attribute_trace(
             data, slo_seconds, window_seconds=attainment_window_seconds
         ),
         alerts=data.events_named("slo_alert"),
+        retry_summary={
+            kind: len(data.events_named(f"retry.{kind}"))
+            for kind in ("schedule", "dispatch", "abandoned", "shed")
+            if data.events_named(f"retry.{kind}")
+        },
     )
 
 
@@ -521,6 +559,18 @@ def render_attribution_report(
     if labels:
         parts.append(
             render_kv(labels, title="counterfactual replay verdicts")
+        )
+    failure_labels = report.failure_labels()
+    if any(failure_labels.values()):
+        parts.append(
+            render_kv(
+                failure_labels,
+                title="fault-dominated violations by retry outcome",
+            )
+        )
+    if report.retry_summary:
+        parts.append(
+            render_kv(report.retry_summary, title="retry.* events")
         )
     shown = report.violations[:max_rows]
     rows = []

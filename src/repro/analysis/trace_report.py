@@ -33,13 +33,16 @@ __all__ = [
     "switch_rows",
 ]
 
-#: The five latency components, in stacking order (Figs 1 and 4).
+#: The latency components, in stacking order (Figs 1 and 4, plus the
+#: ``failure_wait`` bucket the resilience layer charges failed dispatch
+#: attempts and straggler inflation to).
 BREAKDOWN_COMPONENTS: tuple[str, ...] = (
     "batching_wait",
     "cold_start_wait",
     "queue_delay",
     "exec_solo",
     "interference_extra",
+    "failure_wait",
 )
 
 

@@ -5,12 +5,14 @@ Commands
 ``profiles [MODEL]``
     Print Table II and the profiled rows for a model.
 ``run MODEL [--scheme S] [--trace T] [--duration D] [--seed N]
-    [--trace-out F.jsonl] [--chrome-trace F.json] [--prom-out F.prom]
-    [--profile-engine]``
+    [--chaos F.json] [--recovery MODE] [--trace-out F.jsonl]
+    [--chrome-trace F.json] [--prom-out F.prom] [--profile-engine]``
     Serve one workload with one scheme and print the headline metrics;
-    optionally record telemetry (spans, decision audit, metric samples)
-    to JSONL, Chrome ``trace_event`` format (opens in Perfetto), and/or
-    a Prometheus text-format metrics snapshot.
+    optionally inject faults from a ChaosSpec JSON file, enable the
+    resilience layer (deadline-aware retry + circuit breakers), and
+    record telemetry (spans, decision audit, metric samples) to JSONL,
+    Chrome ``trace_event`` format (opens in Perfetto), and/or a
+    Prometheus text-format metrics snapshot.
 ``compare MODEL [...]``
     All schemes side by side on the same trace.
 ``experiment ID [--no-cache] [--cache-dir DIR] [...]``
@@ -64,8 +66,10 @@ from repro.experiments.registry import (
     get_experiment,
 )
 from repro.experiments.schemes import SCHEMES, make_policy
+from repro.core.resilience import ResilienceConfig
 from repro.framework.slo import SLO
-from repro.framework.system import ServerlessRun
+from repro.framework.system import RunConfig, ServerlessRun
+from repro.simulator.chaos import ChaosSpec
 from repro.hardware.profiles import ProfileService
 from repro.simulator.engine import Simulator
 from repro.telemetry import (
@@ -158,6 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         if name == "run":
             p.add_argument(
+                "--chaos", metavar="FILE",
+                help="inject faults from a ChaosSpec JSON file "
+                "(see docs/RESILIENCE.md for the format)",
+            )
+            p.add_argument(
+                "--recovery", choices=("requeue", "drop", "retry"),
+                default=None,
+                help="recovery policy for fault-evicted work; any value "
+                "enables the resilience layer (deadline-aware retry, "
+                "per-target circuit breakers, graceful degradation)",
+            )
+            p.add_argument(
                 "--trace-out", metavar="FILE",
                 help="record telemetry and write the JSONL trace here",
             )
@@ -241,14 +257,15 @@ def _cmd_profiles(args) -> int:
     return 0
 
 
-def _run_one(scheme: str, model, trace, profiles, slo, sim=None, tracer=None):
+def _run_one(scheme: str, model, trace, profiles, slo, config=None,
+             sim=None, tracer=None):
     """Execute one scheme; returns ``(RunResult, ServerlessRun)`` so
     callers can reach post-run state (SLO monitor, sim clock)."""
     logger.debug("running scheme %s on %s (%d requests)",
                  scheme, model.name, trace.n_requests)
     policy = make_policy(scheme, model, profiles, slo.target_seconds, trace)
     run = ServerlessRun(
-        model, trace, policy, profiles, slo, sim=sim, tracer=tracer
+        model, trace, policy, profiles, slo, config, sim=sim, tracer=tracer
     )
     return run.execute(), run
 
@@ -262,25 +279,53 @@ def _cmd_run(args) -> int:
     tracer = Tracer() if tracing else None
     profiler = EngineProfiler() if args.profile_engine else None
     sim = Simulator(profiler=profiler) if profiler is not None else None
-    result, run = _run_one(
-        args.scheme, model, trace, profiles, slo, sim=sim, tracer=tracer
-    )
-    emit(
-        render_kv(
-            {
-                "scheme": scheme_label(args.scheme),
-                "model": model.display_name,
-                "trace": f"{args.trace} ({trace.n_requests} requests, "
-                f"peak {trace.peak_rps:.0f} rps)",
-                "SLO compliance": f"{100 * result.slo_compliance:.2f}%",
-                "P99": f"{result.p99_seconds * 1e3:.1f} ms",
-                "cost": f"${result.total_cost:.4f}",
-                "switches": result.n_switches,
-                "cold starts": result.cold_starts,
-            },
-            title="run result",
+    config = None
+    if args.chaos or args.recovery:
+        try:
+            chaos = ChaosSpec.load(args.chaos) if args.chaos else None
+        except FileNotFoundError:
+            logger.error("chaos spec not found: %s", args.chaos)
+            return 1
+        except ValueError as exc:
+            logger.error("invalid chaos spec: %s", exc)
+            return 1
+        config = RunConfig(
+            chaos=chaos,
+            resilience=(
+                ResilienceConfig(recovery=args.recovery)
+                if args.recovery
+                else None
+            ),
+            seed=args.seed,
         )
+    result, run = _run_one(
+        args.scheme, model, trace, profiles, slo, config,
+        sim=sim, tracer=tracer,
     )
+    kv = {
+        "scheme": scheme_label(args.scheme),
+        "model": model.display_name,
+        "trace": f"{args.trace} ({trace.n_requests} requests, "
+        f"peak {trace.peak_rps:.0f} rps)",
+        "SLO compliance": f"{100 * result.slo_compliance:.2f}%",
+        "P99": f"{result.p99_seconds * 1e3:.1f} ms",
+        "cost": f"${result.total_cost:.4f}",
+        "switches": result.n_switches,
+        "cold starts": result.cold_starts,
+    }
+    if run._chaos is not None:
+        kv["faults injected"] = ", ".join(
+            f"{kind}={n}" for kind, n in run._chaos.injected.items() if n
+        ) or "none"
+    if run.resilience is not None:
+        kv["retries"] = (
+            f"{result.retries_scheduled} scheduled, "
+            f"{result.retries_abandoned} abandoned"
+        )
+        kv["lost requests"] = (
+            f"{result.requests_shed} shed, {result.requests_dropped} dropped"
+        )
+    emit(render_kv(kv, title="run result"))
     if tracer is not None:
         emit("")
         emit(render_kv(summary_counts(tracer), title="telemetry"))

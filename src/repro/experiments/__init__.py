@@ -20,6 +20,7 @@ from repro.experiments import (
     fig11,
     fig12,
     fig13,
+    resilience,
     table2,
     table3,
 )
@@ -41,6 +42,6 @@ __all__ = [
     "all_experiments", "experiment_ids", "fig01", "fig03", "fig04",
     "fig05", "fig06", "fig07", "fig08", "fig09_10", "fig11", "fig12",
     "fig13", "get_active_cache", "get_experiment", "make_policy",
-    "register_experiment", "run_cell", "run_matrix", "set_active_cache",
-    "sweeps", "table2", "table3",
+    "register_experiment", "resilience", "run_cell", "run_matrix",
+    "set_active_cache", "sweeps", "table2", "table3",
 ]

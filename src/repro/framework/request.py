@@ -66,6 +66,10 @@ class BatchBreakdown:
         the hardware that ran it.
     interference_extra:
         Execution time beyond ``exec_solo`` caused by MPS co-location.
+    failure_wait:
+        Time lost to injected faults: failed dispatch attempts spent on a
+        node that then died (retry path) and straggler execution inflation
+        (chaos slowdown windows).
     """
 
     batching_wait: float = 0.0
@@ -73,6 +77,7 @@ class BatchBreakdown:
     queue_delay: float = 0.0
     exec_solo: float = 0.0
     interference_extra: float = 0.0
+    failure_wait: float = 0.0
 
     @property
     def total(self) -> float:
@@ -84,6 +89,7 @@ class BatchBreakdown:
             + self.queue_delay
             + self.exec_solo
             + self.interference_extra
+            + self.failure_wait
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -94,6 +100,7 @@ class BatchBreakdown:
             "queue_delay": self.queue_delay,
             "exec_solo": self.exec_solo,
             "interference_extra": self.interference_extra,
+            "failure_wait": self.failure_wait,
         }
 
 
@@ -123,6 +130,8 @@ class Batch:
     hardware_name: Optional[str] = None
     # Set by the device when execution starts (for utilization accounting).
     started_at: Optional[float] = None
+    #: Failed dispatch attempts re-driven by the resilience layer.
+    retries: int = 0
 
     def __post_init__(self) -> None:
         self.arrivals = np.asarray(self.arrivals, dtype=np.float64)

@@ -15,7 +15,12 @@ workload + trace + policy into the simulated cluster:
   ``reconfigure_HW``: the new node is procured and pre-warmed while the old
   one keeps serving, then traffic is rerouted and the old lease released);
 * optional **failure injection** and **SeBS co-location** reproduce the
-  sensitivity studies.
+  sensitivity studies;
+* an optional **chaos engine** (:mod:`repro.simulator.chaos`) generalises
+  the Fig 13b injector into composable stochastic fault specs, and an
+  optional **resilience layer** (:mod:`repro.core.resilience`) adds
+  deadline-aware retries, per-target circuit breakers, and graceful
+  degradation on top of the legacy requeue-on-failover path.
 
 Every scheme runs through this same machinery; only the policy differs.
 """
@@ -30,12 +35,14 @@ import numpy as np
 
 from repro.baselines.base import Policy, WindowPlan
 from repro.core.autoscaler import Autoscaler, containers_for_split
+from repro.core.resilience import ResilienceConfig, ResilienceController
 from repro.framework.batching import DispatchWindow, window_groups
 from repro.core.predictor import EWMAPredictor, RateTracker
 from repro.framework.request import Batch, ShareMode
 from repro.framework.slo import SLO
 from repro.hardware.catalog import HardwareCatalog, HardwareSpec, default_catalog
 from repro.hardware.profiles import ProfileService
+from repro.simulator.chaos import ChaosEngine, ChaosHooks, ChaosSpec
 from repro.simulator.cluster import Cluster, NodeInstance
 from repro.simulator.containers import AcquireTicket
 from repro.simulator.engine import Simulator
@@ -73,6 +80,16 @@ class RunConfig:
         Start with the policy's initial node leased and containers warm.
     failure_schedule:
         Optional node-outage pattern (Fig 13b).
+    chaos:
+        Optional generalised fault specification (stochastic crashes,
+        slowdowns, cold-start failures, OOM kills, MPS faults).  Mutually
+        exclusive with ``failure_schedule``; express the legacy pattern
+        as ``ChaosSpec.from_failure_schedule(schedule)`` — it replays
+        bit-identically.
+    resilience:
+        Optional recovery policy (deadline-aware retry, per-target
+        circuit breakers, graceful degradation).  ``None`` keeps the
+        legacy requeue-on-failover behaviour unchanged.
     sebs_colocation:
         Inject SeBS background CPU load (Table III).
     sebs_invocation_rps:
@@ -98,12 +115,21 @@ class RunConfig:
     drain_grace_seconds: float = 30.0
     warm_start: bool = True
     failure_schedule: Optional[FailureSchedule] = None
+    chaos: Optional[ChaosSpec] = None
+    resilience: Optional[ResilienceConfig] = None
     sebs_colocation: bool = False
     sebs_invocation_rps: float = 4.0
     telemetry_sample_interval_seconds: float = 1.0
     slo_monitor_window_seconds: float = 30.0
     slo_burn_rate_threshold: float = 2.0
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failure_schedule is not None and self.chaos is not None:
+            raise ValueError(
+                "failure_schedule and chaos are mutually exclusive; express "
+                "the legacy schedule as ChaosSpec.from_failure_schedule()"
+            )
 
 
 @dataclass
@@ -131,6 +157,11 @@ class RunResult:
     hardware_usage: dict[str, int]
     n_switches: int
     cold_starts: int
+    #: Resilience-layer counters (all zero when no policy is configured).
+    retries_scheduled: int = 0
+    retries_abandoned: int = 0
+    requests_shed: int = 0
+    requests_dropped: int = 0
     #: (time, from_node, to_node) per completed traffic reroute.
     switch_log: list[tuple[float, str, str]] = field(default_factory=list)
     metrics: MetricsCollector = field(repr=False, default=None)  # type: ignore[assignment]
@@ -170,32 +201,11 @@ class ServerlessRun:
         profiles: Optional[ProfileService] = None,
         slo: Optional[SLO] = None,
         config: Optional[RunConfig] = None,
-        *legacy: object,
+        *,
         sim: Optional[Simulator] = None,
         cluster: Optional[Cluster] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
-        if legacy:
-            # One-release shim for the old positional (sim, cluster,
-            # tracer) tail; a TypeError next release.
-            import warnings
-
-            warnings.warn(
-                "passing sim/cluster/tracer to ServerlessRun positionally "
-                "is deprecated; use keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(legacy) > 3:
-                raise TypeError(
-                    f"ServerlessRun() takes at most 9 positional arguments "
-                    f"({6 + len(legacy)} given)"
-                )
-            sim = legacy[0]  # type: ignore[assignment]
-            if len(legacy) >= 2:
-                cluster = legacy[1]  # type: ignore[assignment]
-            if len(legacy) == 3:
-                tracer = legacy[2]  # type: ignore[assignment]
         self.model = model
         self.trace = trace
         self.policy = policy
@@ -241,6 +251,32 @@ class ServerlessRun:
         self._owned_node_ids: set[int] = set()
         self._sebs: Optional[SebsColocator] = None
         self._failure_injector: Optional[FailureInjector] = None
+        cfg = self.config
+        self.resilience: Optional[ResilienceController] = (
+            ResilienceController(cfg.resilience, tracer=self.tracer)
+            if cfg.resilience is not None
+            else None
+        )
+        #: Last backoff drawn per batch_id (decorrelated-jitter state).
+        self._retry_backoff: dict[int, float] = {}
+        self.requests_dropped = 0
+        self._chaos: Optional[ChaosEngine] = None
+        if cfg.chaos is not None:
+            self._chaos = ChaosEngine(
+                self.sim,
+                cfg.chaos,
+                ChaosHooks(
+                    on_node_fail=self._on_node_failure,
+                    on_node_recover=self._on_node_recovery,
+                    on_oom_kill=self._on_oom_kill,
+                ),
+                horizon=trace.duration,
+                tracer=self.tracer,
+            )
+            if self._chaos.perturbs_cold_starts:
+                # Must be installed before the warm-start pool is created
+                # in _setup so every pool sees the hook.
+                self.cluster.spawn_delay_fn = self._chaos.cold_start_delay
         #: Live SLO burn-rate monitor; constructed in ``_setup_telemetry``
         #: only when tracing is enabled and the window is positive.
         self.slo_monitor: Optional[SLOMonitor] = None
@@ -331,6 +367,8 @@ class ServerlessRun:
                 tracer=self.tracer,
             )
             self._failure_injector.start()
+        if self._chaos is not None:
+            self._chaos.start()
         if cfg.sebs_colocation:
             self._sebs = SebsColocator(
                 self.sim,
@@ -402,6 +440,19 @@ class ServerlessRun:
                 for p in node.pools().values()
             ),
         )
+        if self.resilience is not None:
+            res = self.resilience
+            reg.gauge(
+                "resilience.retries_scheduled", lambda: res.retries_scheduled
+            )
+            reg.gauge(
+                "resilience.retries_abandoned", lambda: res.retries_abandoned
+            )
+            reg.gauge("resilience.requests_shed", lambda: res.requests_shed)
+            reg.gauge(
+                "resilience.requests_dropped", lambda: self.requests_dropped
+            )
+            reg.gauge("resilience.breakers_open", res.open_breakers)
         if self.config.slo_monitor_window_seconds > 0:
             self.slo_monitor = SLOMonitor(
                 slo_seconds=self.slo.target_seconds,
@@ -454,6 +505,36 @@ class ServerlessRun:
 
     def _dispatch(self, window: DispatchWindow, node: NodeInstance) -> None:
         now = self.sim.now
+        degraded = self.resilience is not None and self.resilience.degraded(now)
+        if degraded and self.config.resilience.shed_expired:
+            # Graceful degradation, rung 1: requests whose deadline has
+            # already passed are lost either way — shed them instead of
+            # adding their load to an impaired fleet.
+            expired = window.arrivals + self.slo.target_seconds <= now
+            n_shed = int(expired.sum())
+            if n_shed:
+                self.resilience.shed(n_shed)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "retry.shed",
+                        now,
+                        cat="resilience",
+                        n=n_shed,
+                        reason="deadline_passed",
+                    )
+                kept = window.arrivals[~expired]
+                if kept.size == 0:
+                    return
+                window = DispatchWindow(
+                    dispatch_at=window.dispatch_at, arrivals=kept
+                )
+        # Rung 2/3: shrink batches and force temporal-only while impaired
+        # (an MPS fault alone also forces temporal, healthy breakers or
+        # not — spatial sharing is simply unavailable).
+        force_temporal = (
+            self._chaos is not None and self._chaos.mps_down
+        ) or (degraded and self.config.resilience.degrade_force_temporal)
+        cap = self.config.resilience.degraded_batch_cap if degraded else None
         plan = self.policy.plan_window(
             window.n,
             node.spec,
@@ -475,14 +556,19 @@ class ServerlessRun:
         for planned in plan.batches:
             arrivals = window.arrivals[offset : offset + planned.size]
             offset += planned.size
-            batch = Batch(
-                model=self.model,
-                arrivals=arrivals,
-                dispatched_at=now,
-                mode=planned.mode,
-            )
-            batch.breakdown.batching_wait = max(0.0, now - batch.first_arrival)
-            self._acquire_and_submit(batch, node)
+            mode = ShareMode.TEMPORAL if force_temporal else planned.mode
+            step = planned.size if cap is None else min(cap, planned.size)
+            for i in range(0, planned.size, step):
+                batch = Batch(
+                    model=self.model,
+                    arrivals=arrivals[i : i + step],
+                    dispatched_at=now,
+                    mode=mode,
+                )
+                batch.breakdown.batching_wait = max(
+                    0.0, now - batch.first_arrival
+                )
+                self._acquire_and_submit(batch, node)
         if offset != window.n:  # pragma: no cover - plan invariant
             raise RuntimeError(
                 f"plan covered {offset} of {window.n} window requests"
@@ -503,23 +589,42 @@ class ServerlessRun:
             else:
                 batch.breakdown.queue_delay += ticket.wait
             if not node.available:
-                # The node failed while we waited; requeue the requests.
-                self._pending_windows.append(
-                    DispatchWindow(dispatch_at=self.sim.now, arrivals=batch.arrivals)
-                )
+                # The node failed while we waited; recover per policy.
+                self._handle_failed_batch(batch)
                 return
             self._submit(batch, node, pool)
 
         pool.request(on_container)
+
+    def _handle_failed_batch(self, batch: Batch) -> None:
+        """Route a batch that lost its node to the configured recovery."""
+        recovery = (
+            self.resilience.config.recovery
+            if self.resilience is not None
+            else "requeue"
+        )
+        if recovery == "retry":
+            self._plan_retry(batch)
+        elif recovery == "drop":
+            self.requests_dropped += batch.size
+        else:  # requeue (legacy): back into the pending queue
+            self._pending_windows.append(
+                DispatchWindow(dispatch_at=self.sim.now, arrivals=batch.arrivals)
+            )
 
     def _submit(self, batch: Batch, node: NodeInstance, pool) -> None:
         spec = node.spec
         solo = self.profiles.solo_time(self.model, spec, batch.size)
         fbr = self.profiles.fbr(self.model, spec) if spec.is_gpu else 0.0
         mem = self.model.mem_gb_per_batch * (batch.size / self.model.max_batch)
+        slowdown = (
+            self._chaos.slowdown_factor if self._chaos is not None else 1.0
+        )
 
         def on_complete(job: Job) -> None:
             pool.release()
+            if self.resilience is not None:
+                self.resilience.record_success(spec.name, self.sim.now)
             self.metrics.record_batch(batch)
             if self.tracer.enabled:
                 self.tracer.record_batch_span(batch)
@@ -546,6 +651,7 @@ class ServerlessRun:
                 mode=batch.mode,
                 on_complete=on_complete,
                 on_evict=on_evict,
+                slowdown=slowdown,
             )
         )
 
@@ -594,7 +700,14 @@ class ServerlessRun:
             )
 
     def _is_available(self, hw: HardwareSpec) -> bool:
-        return hw.name not in self._failed_specs
+        if hw.name in self._failed_specs:
+            return False
+        # Breaker gate is read-only here: availability scans must not
+        # consume half-open probe slots (those belong to dispatches).
+        return not (
+            self.resilience is not None
+            and self.resilience.target_blocked(hw.name, self.sim.now)
+        )
 
     def _reconfigure(self, desired: HardwareSpec) -> None:
         """Background hardware switch (Algorithm 1's ``reconfigure_HW``).
@@ -746,19 +859,33 @@ class ServerlessRun:
         if node is None:
             return
         self._failed_specs.add(node.spec.name)
+        if self.resilience is not None:
+            self.resilience.record_failure(node.spec.name, self.sim.now)
         evicted = node.fail()
         if node.node_id in self.cluster._active_leases:
             self.cluster.release(node)
         self._current = None
         self._reconfig_target = None
         self._reconfig_gen += 1  # cancel any in-flight reconfiguration
-        # Evicted requests go back into the pending queue, arrivals intact.
-        arrivals = [j.batch.arrivals for j in evicted]
-        if arrivals:
-            merged = np.sort(np.concatenate(arrivals))
-            self._pending_windows.append(
-                DispatchWindow(dispatch_at=self.sim.now, arrivals=merged)
-            )
+        recovery = (
+            self.resilience.config.recovery
+            if self.resilience is not None
+            else "requeue"
+        )
+        if recovery == "retry":
+            for job in evicted:
+                self._plan_retry(job.batch)
+        elif recovery == "drop":
+            self.requests_dropped += sum(j.batch.size for j in evicted)
+        else:
+            # Requeue (legacy): evicted requests go back into the pending
+            # queue, arrivals intact, merged into one window.
+            arrivals = [j.batch.arrivals for j in evicted]
+            if arrivals:
+                merged = np.sort(np.concatenate(arrivals))
+                self._pending_windows.append(
+                    DispatchWindow(dispatch_at=self.sim.now, arrivals=merged)
+                )
         failover = self._failover_choice(node.spec)
 
         def on_ready(new_node: NodeInstance) -> None:
@@ -780,6 +907,121 @@ class ServerlessRun:
 
     def _on_node_recovery(self) -> None:
         self._failed_specs.clear()
+
+    def _on_oom_kill(self) -> None:
+        """Chaos OOM: one resident batch's container dies mid-execution."""
+        node = self._current
+        if node is None or not node.available:
+            return
+        job = node.device.evict_one()
+        if job is None:
+            return
+        if job.on_evict is not None:
+            job.on_evict(job)  # balances the container acquisition
+        if self.resilience is not None:
+            self.resilience.record_failure(node.spec.name, self.sim.now)
+            if self.resilience.config.recovery != "requeue":
+                self._handle_failed_batch(job.batch)
+                return
+        # Requeue (default): unlike a node outage the node itself is still
+        # healthy, so the evicted work redispatches immediately.
+        self._dispatch(
+            DispatchWindow(dispatch_at=self.sim.now, arrivals=job.batch.arrivals),
+            node,
+        )
+
+    # ------------------------------------------------------------------
+    # Deadline-aware retry (resilience layer)
+    # ------------------------------------------------------------------
+    def _plan_retry(self, batch: Batch) -> None:
+        """Schedule the next dispatch attempt of a failed batch — deadline
+        permitting — or shed/abandon it."""
+        res = self.resilience
+        assert res is not None, "retry planned without a resilience policy"
+        now = self.sim.now
+        deadline = batch.first_arrival + self.slo.target_seconds
+        if res.config.shed_expired and now >= deadline:
+            res.shed(batch.size)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "retry.shed",
+                    now,
+                    cat="resilience",
+                    batch_id=batch.batch_id,
+                    n=batch.size,
+                    reason="deadline_passed",
+                )
+            return
+        plan = res.plan_retry(
+            now,
+            deadline,
+            attempt=batch.retries + 1,
+            prev_backoff=self._retry_backoff.get(batch.batch_id, 0.0),
+        )
+        if plan is None:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "retry.abandoned",
+                    now,
+                    cat="resilience",
+                    batch_id=batch.batch_id,
+                    attempt=batch.retries + 1,
+                    deadline=deadline,
+                )
+            return
+        delay, backoff = plan
+        self._retry_backoff[batch.batch_id] = backoff
+        if self.tracer.enabled:
+            self.tracer.event(
+                "retry.schedule",
+                now,
+                cat="resilience",
+                batch_id=batch.batch_id,
+                attempt=batch.retries + 1,
+                delay=delay,
+                deadline=deadline,
+            )
+        self.sim.schedule(
+            delay, lambda: self._retry_dispatch(batch, deadline), priority=10
+        )
+
+    def _retry_dispatch(self, batch: Batch, deadline: float) -> None:
+        now = self.sim.now
+        res = self.resilience
+        assert res is not None
+        node = self._current
+        if (
+            node is None
+            or not node.available
+            or not res.target_available(node.spec.name, now)
+        ):
+            # No admissible target yet: plan another attempt.  This
+            # terminates — every backoff is >= the base backoff, and
+            # plan_retry clamps the cumulative wait to the SLO deadline.
+            self._plan_retry(batch)
+            return
+        bd = batch.breakdown
+        # The failed attempt's span [dispatched_at, now) is fault-induced
+        # loss; attempt-scoped components restart with the new attempt so
+        # the breakdown still sums to end-to-end latency.
+        bd.failure_wait += now - batch.dispatched_at
+        bd.cold_start_wait = 0.0
+        bd.queue_delay = 0.0
+        bd.interference_extra = 0.0
+        bd.exec_solo = 0.0
+        batch.dispatched_at = now
+        batch.retries += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "retry.dispatch",
+                now,
+                cat="resilience",
+                batch_id=batch.batch_id,
+                attempt=batch.retries,
+                deadline=deadline,
+                hardware=node.spec.name,
+            )
+        self._acquire_and_submit(batch, node)
 
     # ------------------------------------------------------------------
     # Result assembly
@@ -882,6 +1124,16 @@ class ServerlessRun:
             hardware_usage=self.metrics.hardware_usage(),
             n_switches=self.n_switches,
             cold_starts=cold,
+            retries_scheduled=(
+                self.resilience.retries_scheduled if self.resilience else 0
+            ),
+            retries_abandoned=(
+                self.resilience.retries_abandoned if self.resilience else 0
+            ),
+            requests_shed=(
+                self.resilience.requests_shed if self.resilience else 0
+            ),
+            requests_dropped=self.requests_dropped,
             switch_log=list(self.switch_log),
             metrics=self.metrics,
         )

@@ -74,6 +74,8 @@ class NodeInstance:
             self.device = CPUDevice(sim, spec, rng)
         self._pools: dict[str, ContainerPool] = {}
         self.available = True
+        #: Chaos cold-start hook handed to pools created on this node.
+        self.spawn_delay_fn: Optional[Callable[[float], float]] = None
 
     def pool(self, model_name: str) -> ContainerPool:
         """The container pool for ``model_name`` (created on first use)."""
@@ -81,6 +83,7 @@ class NodeInstance:
             return self._pools[model_name]
         except KeyError:
             pool = ContainerPool(self.sim, self.spec.cold_start_seconds)
+            pool.spawn_delay_fn = self.spawn_delay_fn
             self._pools[model_name] = pool
             return pool
 
@@ -124,26 +127,9 @@ class Cluster:
         catalog: HardwareCatalog,
         interference: InterferenceModel = DEFAULT_INTERFERENCE,
         seed: int = 0,
-        *legacy: object,
+        *,
         tracer: Tracer = NULL_TRACER,
     ) -> None:
-        if legacy:
-            # One-release shim for positional tracer; a TypeError next
-            # release.
-            import warnings
-
-            warnings.warn(
-                "passing tracer to Cluster positionally is deprecated; "
-                "use tracer=",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(legacy) > 1:
-                raise TypeError(
-                    f"Cluster() takes at most 5 positional arguments "
-                    f"({4 + len(legacy)} given)"
-                )
-            tracer = legacy[0]  # type: ignore[assignment]
         self.sim = sim
         self.catalog = catalog
         self.interference = interference
@@ -152,6 +138,10 @@ class Cluster:
         self.leases: list[LeaseRecord] = []
         self._active_leases: dict[int, LeaseRecord] = {}
         self.nodes: list[NodeInstance] = []
+        #: Optional chaos hook mapping a base cold-start latency to the
+        #: (possibly inflated) spawn delay; propagated to every node
+        #: acquired after it is set (see ChaosEngine.cold_start_delay).
+        self.spawn_delay_fn: Optional[Callable[[float], float]] = None
 
     # ------------------------------------------------------------------
     # Acquisition / release
@@ -175,6 +165,7 @@ class Cluster:
             self.interference,
             np.random.default_rng(self._root_rng.integers(2**63)),
         )
+        node.spawn_delay_fn = self.spawn_delay_fn
         self.nodes.append(node)
         lease = LeaseRecord(spec=spec, start=self.sim.now)
         self.leases.append(lease)

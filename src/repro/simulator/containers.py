@@ -86,6 +86,10 @@ class ContainerPool:
         self.cold_starts = 0
         self.spawned_total = 0
         self.terminated_total = 0
+        #: Optional chaos hook: maps the base cold-start latency to the
+        #: actual spawn delay for one cold start (failed starts retry and
+        #: chain, inflating the delay).  ``None`` means healthy spawns.
+        self.spawn_delay_fn: Optional[Callable[[float], float]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -141,7 +145,12 @@ class ContainerPool:
         self._spawning += 1
         self.spawned_total += 1
         self.cold_starts += 1
-        self.sim.schedule(self.cold_start_seconds, self._on_warm)
+        delay = (
+            self.spawn_delay_fn(self.cold_start_seconds)
+            if self.spawn_delay_fn is not None
+            else self.cold_start_seconds
+        )
+        self.sim.schedule(delay, self._on_warm)
 
     def _on_warm(self) -> None:
         self._spawning -= 1

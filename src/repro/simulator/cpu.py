@@ -120,12 +120,31 @@ class CPUDevice:
         self._mark_busy_transition()
         return evicted
 
+    def evict_one(self) -> Optional[Job]:
+        """OOM-kill the youngest running batch (chaos injection).
+
+        The lane's already-scheduled ``_finish`` fires into its
+        not-in-running guard and is ignored.  Returns ``None`` when no
+        lane is busy.
+        """
+        if not self._running:
+            return None
+        job = self._running[-1]
+        self._running.remove(job)
+        job.started_at = None
+        self._mark_busy_transition()
+        self._dispatch()
+        return job
+
     def _dispatch(self) -> None:
         while self._queue and len(self._running) < self.spec.cpu_lanes:
             job = self._queue.popleft()
             job.started_at = self.sim.now
             noise = 1.0 + self.exec_noise_sigma * float(self.rng.standard_normal())
-            service = job.solo_time * max(0.5, noise) * self.contention_factor
+            service = (
+                job.solo_time * max(0.5, noise) * self.contention_factor
+                * job.slowdown
+            )
             self._running.append(job)
             self._mark_busy_transition()
             self.sim.schedule(service, lambda j=job: self._finish(j))
@@ -142,9 +161,14 @@ class CPUDevice:
         batch.started_at = job.started_at
         batch.breakdown.queue_delay += job.started_at - job.submitted_at
         exec_time = now - job.started_at
+        inflated_solo = job.solo_time * job.slowdown
         batch.breakdown.exec_solo += min(exec_time, job.solo_time)
+        # Straggler stretch is failure time, not interference.
+        batch.breakdown.failure_wait += max(
+            0.0, min(exec_time, inflated_solo) - job.solo_time
+        )
         # Contention inflation is the CPU analogue of interference.
-        batch.breakdown.interference_extra += max(0.0, exec_time - job.solo_time)
+        batch.breakdown.interference_extra += max(0.0, exec_time - inflated_solo)
         batch.complete(now)
         batch.hardware_name = self.spec.name
         if job.on_complete is not None:

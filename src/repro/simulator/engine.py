@@ -37,7 +37,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import warnings
 from time import perf_counter
 from typing import Callable, Optional, Protocol
 
@@ -144,24 +143,9 @@ class Simulator:
     def __init__(
         self,
         start_time: float = 0.0,
-        *legacy,
+        *,
         profiler: Optional[DispatchProfiler] = None,
     ) -> None:
-        if legacy:
-            warnings.warn(
-                "passing Simulator(profiler) positionally is deprecated; "
-                "use the keyword-only profiler=... form",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(legacy) > 1:
-                raise TypeError(
-                    f"Simulator() takes at most 2 positional arguments "
-                    f"({2 + len(legacy)} given)"
-                )
-            if profiler is not None:
-                raise TypeError("profiler given positionally and by keyword")
-            profiler = legacy[0]
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = itertools.count()

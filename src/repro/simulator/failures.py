@@ -5,6 +5,12 @@ minute, once every other minute.  The injector fires on that cadence and
 calls back into the framework, which evicts in-flight work, switches to the
 failover hardware ("the more performant hardware with the least cost"), and
 re-dispatches.
+
+This is the legacy single-pattern driver.  The general fault model lives
+in :mod:`repro.simulator.chaos`: a :class:`FailureSchedule` expressed as
+``ChaosSpec.from_failure_schedule(schedule)`` replays the same study
+bit-identically, alongside stochastic crashes, stragglers, cold-start
+failures, OOM kills, and MPS faults.
 """
 
 from __future__ import annotations
@@ -76,29 +82,10 @@ class FailureInjector:
         schedule: FailureSchedule,
         on_fail: Callable[[], None],
         on_recover: Callable[[], None],
-        *legacy: object,
+        *,
         horizon: Optional[float] = None,
         tracer: Tracer = NULL_TRACER,
     ) -> None:
-        if legacy:
-            # One-release shim for the old positional (horizon, tracer)
-            # tail; will become a TypeError next release.
-            import warnings
-
-            warnings.warn(
-                "passing horizon/tracer to FailureInjector positionally is "
-                "deprecated; use keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(legacy) > 2:
-                raise TypeError(
-                    f"FailureInjector() takes at most 6 positional arguments "
-                    f"({4 + len(legacy)} given)"
-                )
-            horizon = legacy[0]  # type: ignore[assignment]
-            if len(legacy) == 2:
-                tracer = legacy[1]  # type: ignore[assignment]
         self.sim = sim
         self.schedule = schedule
         self.on_fail = on_fail

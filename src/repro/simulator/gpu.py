@@ -168,7 +168,10 @@ class GPUDevice:
         self._advance()
         job.submitted_at = self.sim.now
         noise = 1.0 + self.exec_noise_sigma * float(self.rng.standard_normal())
-        job.work = job.solo_time * max(0.5, noise) * self.contention_factor
+        job.work = (
+            job.solo_time * max(0.5, noise) * self.contention_factor
+            * job.slowdown
+        )
         if job.is_spatial:
             if job.mem_gb <= self.mem_free_gb and not self._pending_spatial:
                 self._start(job)
@@ -205,6 +208,28 @@ class GPUDevice:
             self._completion_ev.cancel()
             self._completion_ev = None
         return evicted
+
+    def evict_one(self) -> Optional[Job]:
+        """OOM-kill one *running* job mid-batch (chaos injection).
+
+        The youngest resident is the victim — the container that grew
+        last is the one the kernel's OOM killer reaps.  Its progress is
+        lost; the batch (arrivals intact) is returned for the framework
+        to drop, requeue, or retry.  Returns ``None`` when idle.
+        """
+        self._advance()
+        if not self._active:
+            return None
+        job = self._active[-1]
+        self._active.remove(job)
+        self._mem_used -= job.mem_gb
+        job.started_at = None
+        job.work = 0.0
+        self._drain_pending()
+        self._maybe_promote()
+        self._mark_busy_transition()
+        self._reschedule()
+        return job
 
     # ------------------------------------------------------------------
     # Internals
@@ -290,7 +315,11 @@ class GPUDevice:
         assert job.started_at is not None
         wait = job.started_at - job.submitted_at
         exec_time = now - job.started_at
-        interference_extra = max(0.0, exec_time - job.solo_time)
+        # A straggler window stretches the job's nominal service time; the
+        # stretch is charged to failure_wait, and only time beyond the
+        # *inflated* solo counts as interference.
+        inflated_solo = job.solo_time * job.slowdown
+        interference_extra = max(0.0, exec_time - inflated_solo)
         if job.is_spatial:
             # A spatial job only ever waits because co-location pressure
             # exhausted device memory — that wait is interference-induced.
@@ -298,6 +327,9 @@ class GPUDevice:
         else:
             batch.breakdown.queue_delay += wait
         batch.breakdown.exec_solo += min(exec_time, job.solo_time)
+        batch.breakdown.failure_wait += max(
+            0.0, min(exec_time, inflated_solo) - job.solo_time
+        )
         batch.breakdown.interference_extra += interference_extra
         batch.complete(now)
         batch.hardware_name = self.spec.name

@@ -39,6 +39,11 @@ class Job:
         Called when the framework pulls the job out of a device queue
         (hardware switch / failover) — releases its container without
         recording a completion.
+    slowdown:
+        Multiplicative straggler inflation (chaos ``Slowdowns`` windows);
+        1.0 means healthy.  The device stretches execution by this factor
+        and attributes the stretch to ``failure_wait`` rather than
+        interference.
     work:
         Actual work requirement in solo-seconds (solo time perturbed by the
         device's execution noise); set by the device at submission.
@@ -51,6 +56,7 @@ class Job:
     mode: str = ShareMode.SPATIAL
     on_complete: Optional[Callable[["Job"], None]] = None
     on_evict: Optional[Callable[["Job"], None]] = None
+    slowdown: float = 1.0
     work: float = field(default=0.0)
     submitted_at: float = field(default=0.0)
     started_at: Optional[float] = field(default=None)
@@ -63,6 +69,8 @@ class Job:
             raise ValueError("fbr cannot be negative")
         if self.mem_gb < 0:
             raise ValueError("mem_gb cannot be negative")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown cannot speed execution up")
 
     @property
     def is_spatial(self) -> bool:

@@ -33,6 +33,7 @@ class BatchRecord:
     queue_delay: float
     exec_solo: float
     interference_extra: float
+    failure_wait: float = 0.0
 
     @property
     def size(self) -> int:
@@ -70,6 +71,7 @@ class MetricsCollector:
                 queue_delay=bd.queue_delay,
                 exec_solo=bd.exec_solo,
                 interference_extra=bd.interference_extra,
+                failure_wait=bd.failure_wait,
             )
         )
 
@@ -184,6 +186,7 @@ class MetricsCollector:
                 "queue_delay": 0.0,
                 "exec_solo": 0.0,
                 "interference_extra": 0.0,
+                "failure_wait": 0.0,
                 "total": 0.0,
             }
         worst = np.array([r.completed_at - r.arrivals[0] for r in recs])
@@ -199,6 +202,7 @@ class MetricsCollector:
             "interference_extra": float(
                 np.mean([r.interference_extra for r in tail])
             ),
+            "failure_wait": float(np.mean([r.failure_wait for r in tail])),
         }
         out["total"] = float(sum(out.values()))
         return out

@@ -205,6 +205,8 @@ class Tracer:
                 "queue_delay": bd.queue_delay,
                 "exec_solo": bd.exec_solo,
                 "interference_extra": bd.interference_extra,
+                "failure_wait": bd.failure_wait,
+                "retries": batch.retries,
             },
         ))
         # Phase children: clamp to the parent interval so float slop in the

@@ -73,7 +73,7 @@ class TestBreakdown:
         assert bd.as_dict()["queue_delay"] == 0.5
         assert set(bd.as_dict()) == {
             "batching_wait", "cold_start_wait", "queue_delay",
-            "exec_solo", "interference_extra",
+            "exec_solo", "interference_extra", "failure_wait",
         }
 
     def test_share_modes(self):

@@ -1,0 +1,340 @@
+"""Tests for the chaos engine: spec JSON, replay, and legacy equivalence."""
+
+import pytest
+
+from repro.core.paldia import PaldiaPolicy
+from repro.framework.slo import SLO
+from repro.framework.system import RunConfig, ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.simulator.chaos import (
+    ChaosEngine,
+    ChaosHooks,
+    ChaosSpec,
+    ColdStartFailures,
+    MPSFaults,
+    OOMKills,
+    PeriodicOutage,
+    Slowdowns,
+    StochasticCrashes,
+)
+from repro.simulator.engine import Simulator
+from repro.simulator.failures import FailureInjector, FailureSchedule
+from repro.workloads.models import get_model
+from repro.workloads.traces import azure_trace
+
+ALL_FAULTS = (
+    PeriodicOutage(90.0, 30.0, first_failure_at=10.0),
+    StochasticCrashes(60.0, 20.0, first_crash_after=5.0),
+    Slowdowns(45.0, 10.0, factor=1.5),
+    ColdStartFailures(probability=0.3, extra_delay_factor=0.5),
+    OOMKills(80.0, first_after=3.0),
+    MPSFaults(120.0, 25.0),
+)
+
+
+class TestSpecValidation:
+    def test_periodic_downtime_must_fit_period(self):
+        with pytest.raises(ValueError):
+            PeriodicOutage(period_seconds=60.0, downtime_seconds=60.0)
+
+    def test_crash_times_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StochasticCrashes(mean_interarrival_seconds=0.0)
+
+    def test_slowdown_cannot_speed_up(self):
+        with pytest.raises(ValueError):
+            Slowdowns(factor=0.5)
+
+    def test_cold_start_probability_range(self):
+        with pytest.raises(ValueError):
+            ColdStartFailures(probability=1.0)
+        with pytest.raises(ValueError):
+            ColdStartFailures(probability=-0.1)
+
+    def test_zero_cold_start_probability_is_valid(self):
+        assert ColdStartFailures(probability=0.0).probability == 0.0
+
+
+class TestSpecJSON:
+    def test_round_trip_every_fault_kind(self):
+        spec = ChaosSpec(faults=ALL_FAULTS, seed=7)
+        assert ChaosSpec.loads(spec.dumps()) == spec
+
+    def test_save_load_file(self, tmp_path):
+        spec = ChaosSpec(faults=ALL_FAULTS, seed=3)
+        path = str(tmp_path / "chaos.json")
+        spec.save(path)
+        assert ChaosSpec.load(path) == spec
+
+    def test_dict_carries_schema_and_kinds(self):
+        data = ChaosSpec(faults=ALL_FAULTS).to_dict()
+        assert data["schema"] == "repro.chaos/1"
+        kinds = {f["kind"] for f in data["faults"]}
+        assert kinds == {
+            "periodic_outage", "stochastic_crashes", "slowdowns",
+            "cold_start_failures", "oom_kills", "mps_faults",
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            ChaosSpec.from_dict({"faults": [{"kind": "gamma_rays"}]})
+
+    def test_from_failure_schedule(self):
+        schedule = FailureSchedule(100.0, 40.0, first_failure_at=15.0)
+        spec = ChaosSpec.from_failure_schedule(schedule, seed=2)
+        assert spec.seed == 2
+        (fault,) = spec.faults
+        assert isinstance(fault, PeriodicOutage)
+        assert fault.period_seconds == 100.0
+        assert fault.downtime_seconds == 40.0
+        assert fault.first_failure_at == 15.0
+
+
+class TestLegacyInjectorEquivalence:
+    """A from_failure_schedule spec fires event-for-event with the
+    legacy injector, including the horizon semantics."""
+
+    @pytest.mark.parametrize("horizon", [250.0, 20.0, 10.0])
+    def test_event_times_identical(self, horizon):
+        schedule = FailureSchedule(100.0, 40.0, first_failure_at=10.0)
+
+        legacy_sim = Simulator()
+        legacy_events = []
+        FailureInjector(
+            legacy_sim,
+            schedule,
+            on_fail=lambda: legacy_events.append(("fail", legacy_sim.now)),
+            on_recover=lambda: legacy_events.append(
+                ("recover", legacy_sim.now)
+            ),
+            horizon=horizon,
+        ).start()
+        legacy_sim.run()
+
+        chaos_sim = Simulator()
+        chaos_events = []
+        engine = ChaosEngine(
+            chaos_sim,
+            ChaosSpec.from_failure_schedule(schedule),
+            ChaosHooks(
+                on_node_fail=lambda: chaos_events.append(
+                    ("fail", chaos_sim.now)
+                ),
+                on_node_recover=lambda: chaos_events.append(
+                    ("recover", chaos_sim.now)
+                ),
+            ),
+            horizon=horizon,
+        )
+        engine.start()
+        chaos_sim.run()
+
+        assert chaos_events == legacy_events
+
+
+class TestDeterministicReplay:
+    def _crash_times(self, seed):
+        sim = Simulator()
+        times = []
+        engine = ChaosEngine(
+            sim,
+            ChaosSpec(faults=(StochasticCrashes(30.0, 10.0),), seed=seed),
+            ChaosHooks(on_node_fail=lambda: times.append(sim.now)),
+            horizon=500.0,
+        )
+        engine.start()
+        sim.run()
+        return times, engine.injected["stochastic_crashes"]
+
+    def test_same_seed_bit_identical(self):
+        times_a, n_a = self._crash_times(4)
+        times_b, n_b = self._crash_times(4)
+        assert times_a == times_b  # exact float equality, not approx
+        assert n_a == n_b >= 2
+
+    def test_different_seed_differs(self):
+        assert self._crash_times(4)[0] != self._crash_times(5)[0]
+
+    def test_adding_a_fault_keeps_other_streams_fixed(self):
+        """Per-(index, kind) RNG streams: composing faults must not shift
+        the crash times."""
+        def crash_times(faults):
+            sim = Simulator()
+            times = []
+            ChaosEngine(
+                sim,
+                ChaosSpec(faults=faults, seed=4),
+                ChaosHooks(on_node_fail=lambda: times.append(sim.now)),
+                horizon=400.0,
+            ).start()
+            sim.run()
+            return times
+
+        alone = crash_times((StochasticCrashes(30.0, 10.0),))
+        composed = crash_times(
+            (StochasticCrashes(30.0, 10.0), Slowdowns(50.0, 5.0))
+        )
+        assert alone == composed
+
+    def test_engine_starts_once(self):
+        engine = ChaosEngine(Simulator(), ChaosSpec(), ChaosHooks())
+        engine.start()
+        with pytest.raises(RuntimeError):
+            engine.start()
+
+
+class TestHorizon:
+    def test_onset_at_horizon_suppressed(self):
+        sim = Simulator()
+        fired = []
+        engine = ChaosEngine(
+            sim,
+            ChaosSpec(faults=(PeriodicOutage(100.0, 40.0, 50.0),)),
+            ChaosHooks(on_node_fail=lambda: fired.append(sim.now)),
+            horizon=50.0,
+        )
+        engine.start()
+        sim.run()
+        assert fired == []
+        assert engine.injected["periodic_outage"] == 0
+
+
+class TestFaultEffects:
+    def test_slowdown_factor_window(self):
+        sim = Simulator()
+        seen = []
+        engine = ChaosEngine(
+            sim,
+            ChaosSpec(faults=(Slowdowns(20.0, 5.0, factor=2.0),), seed=1),
+            ChaosHooks(on_slowdown=lambda f: seen.append(f)),
+            horizon=200.0,
+        )
+        engine.start()
+        sim.run()
+        assert seen and all(f == 2.0 for f in seen)
+        assert engine.slowdown_factor == 1.0  # every window recovered
+
+    def test_mps_down_toggles(self):
+        sim = Simulator()
+        transitions = []
+        engine = ChaosEngine(
+            sim,
+            ChaosSpec(faults=(MPSFaults(40.0, 10.0),), seed=1),
+            ChaosHooks(
+                on_mps_fault=lambda: transitions.append(("down", engine.mps_down)),
+                on_mps_recover=lambda: transitions.append(("up", engine.mps_down)),
+            ),
+            horizon=300.0,
+        )
+        engine.start()
+        sim.run()
+        assert transitions
+        assert all(down for kind, down in transitions if kind == "down")
+        assert all(not down for kind, down in transitions if kind == "up")
+
+    def test_cold_start_delay_inflates(self):
+        engine = ChaosEngine(
+            Simulator(),
+            ChaosSpec(faults=(ColdStartFailures(probability=0.9),), seed=1),
+            ChaosHooks(),
+        )
+        engine.start()
+        assert engine.perturbs_cold_starts
+        delays = [engine.cold_start_delay(2.5) for _ in range(20)]
+        assert all(d >= 2.5 for d in delays)
+        assert any(d > 2.5 for d in delays)
+        assert engine.injected["cold_start_failures"] >= 1
+
+    def test_zero_probability_never_inflates(self):
+        engine = ChaosEngine(
+            Simulator(),
+            ChaosSpec(faults=(ColdStartFailures(probability=0.0),)),
+            ChaosHooks(),
+        )
+        engine.start()
+        assert all(engine.cold_start_delay(2.5) == 2.5 for _ in range(20))
+
+
+# ----------------------------------------------------------------------
+# Full-run contracts
+# ----------------------------------------------------------------------
+def _run(model_name, duration, config, slo_seconds=0.2, peak=None):
+    model = get_model(model_name)
+    profiles = ProfileService()
+    slo = SLO(slo_seconds)
+    trace = azure_trace(
+        peak_rps=peak if peak is not None else model.peak_rps,
+        duration=duration,
+        seed=1,
+    )
+    policy = PaldiaPolicy(model, profiles, slo.target_seconds)
+    return ServerlessRun(model, trace, policy, profiles, slo, config).execute()
+
+
+def _fingerprint(r):
+    return (
+        r.slo_compliance, r.total_cost, r.p50_seconds, r.p99_seconds,
+        r.completed_requests, r.unserved_requests, r.n_switches,
+        r.cold_starts, tuple(r.switch_log), tuple(sorted(r.tail_breakdown.items())),
+    )
+
+
+class TestRunLevelContracts:
+    def test_mutually_exclusive_with_failure_schedule(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            RunConfig(
+                failure_schedule=FailureSchedule(120.0, 60.0),
+                chaos=ChaosSpec.from_failure_schedule(
+                    FailureSchedule(120.0, 60.0)
+                ),
+            )
+
+    def test_legacy_schedule_as_chaos_is_bit_identical(self):
+        """The Fig 13b schedule replayed through the chaos engine produces
+        the exact same RunResult as the legacy injector."""
+        schedule = FailureSchedule(60.0, 20.0, first_failure_at=25.0)
+        legacy = _run(
+            "resnet50", 120.0, RunConfig(failure_schedule=schedule)
+        )
+        chaos = _run(
+            "resnet50", 120.0,
+            RunConfig(chaos=ChaosSpec.from_failure_schedule(schedule)),
+        )
+        assert _fingerprint(chaos) == _fingerprint(legacy)
+
+    def test_stochastic_spec_replays_bit_identically(self):
+        config = RunConfig(
+            chaos=ChaosSpec(
+                faults=(StochasticCrashes(60.0, 20.0, first_crash_after=10.0),),
+                seed=3,
+            )
+        )
+        first = _run("bert", 180.0, config, slo_seconds=10.0)
+        second = _run("bert", 180.0, config, slo_seconds=10.0)
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_oom_kills_are_requeued(self):
+        r = _run(
+            "resnet50", 60.0,
+            RunConfig(chaos=ChaosSpec(
+                faults=(OOMKills(15.0, first_after=5.0),), seed=1,
+            )),
+        )
+        assert r.completed_requests + r.unserved_requests == r.offered_requests
+        assert r.completed_requests > 0
+
+    def test_mps_fault_forces_temporal(self):
+        """With MPS down for the whole trace, nothing runs spatially —
+        while the control run does use spatial sharing."""
+        chaos = RunConfig(chaos=ChaosSpec(
+            faults=(MPSFaults(
+                mean_interarrival_seconds=0.001,
+                duration_seconds=10_000.0,
+            ),),
+            seed=1,
+        ))
+        faulted = _run("resnet50", 45.0, chaos)
+        control = _run("resnet50", 45.0, RunConfig())
+        assert control.mode_split.get("spatial", 0) > 0
+        assert faulted.mode_split.get("spatial", 0) == 0
+        assert faulted.completed_requests > 0

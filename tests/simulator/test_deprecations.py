@@ -1,10 +1,11 @@
-"""One-release positional-argument deprecation shims.
+"""Keyword-only constructor tails across the framework.
 
 The telemetry-injection redesign made ``tracer`` (and its neighbours)
-keyword-only across the framework.  Old positional call shapes keep
-working for one release behind ``DeprecationWarning`` shims; these tests
-pin both halves of that contract — the warning fires *and* the value
-still lands.
+keyword-only across the framework.  The old positional call shapes were
+kept working for one release behind ``DeprecationWarning`` shims; that
+release has passed, the shims are gone, and positional use is now a
+plain ``TypeError``.  These tests pin both halves of the final contract:
+positional tails raise, keyword forms are silent.
 """
 
 import warnings
@@ -20,12 +21,18 @@ from repro.simulator.cluster import Cluster
 from repro.simulator.engine import Simulator
 from repro.simulator.failures import FailureInjector, FailureSchedule
 from repro.telemetry import NULL_TRACER, Tracer
-from repro.workloads.models import get_model
-from repro.workloads.traces import constant_trace
 
 
-class TestSimulatorShim:
-    def test_positional_profiler_warns_but_works(self):
+class TestSimulatorKeywordOnly:
+    def test_positional_profiler_is_typeerror(self):
+        class Prof:
+            def record(self, fn, seconds):
+                pass
+
+        with pytest.raises(TypeError):
+            Simulator(0.0, Prof())
+
+    def test_keyword_profiler_is_silent(self):
         class Prof:
             def __init__(self):
                 self.n = 0
@@ -34,49 +41,36 @@ class TestSimulatorShim:
                 self.n += 1
 
         prof = Prof()
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            sim = Simulator(0.0, prof)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sim = Simulator(0.0, profiler=prof)
         sim.schedule(1.0, lambda: None)
         sim.run()
         assert prof.n == 1
 
-    def test_keyword_profiler_is_silent(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            Simulator(profiler=None)
 
-
-class TestClusterShim:
-    def test_positional_tracer_warns_but_works(self):
-        tracer = Tracer()
+class TestClusterKeywordOnly:
+    def test_positional_tracer_is_typeerror(self):
         profiles = ProfileService()
-        with pytest.warns(DeprecationWarning, match="tracer"):
-            cluster = Cluster(
+        with pytest.raises(TypeError):
+            Cluster(
                 Simulator(), profiles.catalog, profiles.interference, 0,
-                tracer,
+                Tracer(),
             )
-        assert cluster.tracer is tracer
-
-    def test_too_many_positionals_is_typeerror(self):
-        profiles = ProfileService()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                Cluster(
-                    Simulator(), profiles.catalog, profiles.interference,
-                    0, NULL_TRACER, "extra",
-                )
 
     def test_keyword_tracer_is_silent(self):
         profiles = ProfileService()
+        tracer = Tracer()
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             cluster = Cluster(
-                Simulator(), profiles.catalog, tracer=NULL_TRACER
+                Simulator(), profiles.catalog, profiles.interference, 0,
+                tracer=tracer,
             )
-        assert cluster.tracer is NULL_TRACER
+        assert cluster.tracer is tracer
 
 
-class TestFailureInjectorShim:
+class TestFailureInjectorKeywordOnly:
     def _make(self, *tail, **kw):
         return FailureInjector(
             Simulator(),
@@ -87,68 +81,66 @@ class TestFailureInjectorShim:
             **kw,
         )
 
-    def test_positional_horizon_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="horizon"):
-            inj = self._make(250.0)
-        assert inj.horizon == 250.0
+    def test_positional_horizon_is_typeerror(self):
+        with pytest.raises(TypeError):
+            self._make(250.0)
 
-    def test_positional_horizon_and_tracer(self):
-        tracer = Tracer()
-        with pytest.warns(DeprecationWarning):
-            inj = self._make(250.0, tracer)
-        assert inj.horizon == 250.0
-        assert inj.tracer is tracer
+    def test_positional_horizon_and_tracer_is_typeerror(self):
+        with pytest.raises(TypeError):
+            self._make(250.0, Tracer())
 
     def test_keyword_form_is_silent(self):
+        tracer = Tracer()
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            inj = self._make(horizon=100.0, tracer=NULL_TRACER)
+            inj = self._make(horizon=100.0, tracer=tracer)
         assert inj.horizon == 100.0
+        assert inj.tracer is tracer
 
 
-class TestServerlessRunShim:
+class TestServerlessRunKeywordOnly:
     def _args(self):
+        from repro.experiments.schemes import make_policy
+        from repro.workloads.models import get_model
+        from repro.workloads.traces import constant_trace
+
         model = get_model("resnet50")
         profiles = ProfileService()
         slo = SLO()
         trace = constant_trace(5.0, 5.0)
-        from repro.experiments.schemes import make_policy
-
         policy = make_policy(
             "paldia", model, profiles, slo.target_seconds, trace
         )
         return model, trace, policy, profiles, slo
 
-    def test_positional_sim_warns_but_works(self):
+    def test_positional_sim_is_typeerror(self):
         model, trace, policy, profiles, slo = self._args()
-        sim = Simulator()
-        with pytest.warns(DeprecationWarning, match="sim/cluster/tracer"):
-            run = ServerlessRun(
-                model, trace, policy, profiles, slo, None, sim
-            )
-        assert run.sim is sim
+        with pytest.raises(TypeError):
+            ServerlessRun(model, trace, policy, profiles, slo, None, Simulator())
 
-    def test_positional_tracer_tail(self):
+    def test_positional_tracer_tail_is_typeerror(self):
         model, trace, policy, profiles, slo = self._args()
-        tracer = Tracer()
-        with pytest.warns(DeprecationWarning):
-            run = ServerlessRun(
-                model, trace, policy, profiles, slo, None, None, None, tracer
+        with pytest.raises(TypeError):
+            ServerlessRun(
+                model, trace, policy, profiles, slo, None, None, None, Tracer()
             )
-        assert run.tracer is tracer
 
     def test_keyword_form_is_silent(self):
         model, trace, policy, profiles, slo = self._args()
+        sim = Simulator()
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             run = ServerlessRun(
-                model, trace, policy, profiles, slo, tracer=None
+                model, trace, policy, profiles, slo, sim=sim, tracer=None
             )
+        assert run.sim is sim
         assert run.tracer is NULL_TRACER
 
 
 class TestAutoscalerTracer:
     def _make(self, **kw):
+        from repro.workloads.models import get_model
+
         return Autoscaler(
             model=get_model("resnet50"),
             profiles=ProfileService(),
@@ -165,6 +157,8 @@ class TestAutoscalerTracer:
         assert self._make().tracer is NULL_TRACER
 
     def test_tracer_is_keyword_only(self):
+        from repro.workloads.models import get_model
+
         with pytest.raises(TypeError):
             Autoscaler(
                 get_model("resnet50"), ProfileService(), EWMAPredictor(),

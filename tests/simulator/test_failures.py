@@ -1,7 +1,10 @@
 """Tests for failure scheduling and injection."""
 
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
+from repro.simulator.engine import Simulator
 from repro.simulator.failures import FailureInjector, FailureSchedule
 
 
@@ -61,3 +64,58 @@ class TestInjector:
         inj.start()
         sim.run()
         assert events == ["fail", "recover"]
+
+
+class TestScheduleInjectorAgreement:
+    """Property: the event stream the injector emits agrees with the
+    schedule's closed-form ``is_down()`` across random schedules."""
+
+    @given(
+        period=st.floats(min_value=5.0, max_value=300.0),
+        downtime_frac=st.floats(min_value=0.05, max_value=0.9),
+        first=st.floats(min_value=0.0, max_value=200.0),
+        horizon=st.floats(min_value=10.0, max_value=500.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_events_agree_with_is_down(self, period, downtime_frac, first,
+                                       horizon):
+        downtime = period * downtime_frac
+        # The injector accumulates onsets as float sums; when a grid point
+        # sits within float noise of the horizon, whether it fires is
+        # ambiguous.  Stay away from that boundary.
+        k_near = round((horizon - first) / period)
+        assume(abs(first + k_near * period - horizon) > 1e-3)
+        schedule = FailureSchedule(period, downtime, first_failure_at=first)
+        sim = Simulator()
+        events = []
+        inj = FailureInjector(
+            sim,
+            schedule,
+            on_fail=lambda: events.append(("fail", sim.now)),
+            on_recover=lambda: events.append(("recover", sim.now)),
+            horizon=horizon,
+        )
+        inj.start()
+        sim.run()
+
+        # Strict fail/recover alternation, starting with a fail.
+        assert [kind for kind, _ in events] == (
+            ["fail", "recover"] * (len(events) // 2)
+        )
+
+        # Onsets are exactly the schedule's grid points below the horizon.
+        expected, t = [], first
+        while t < horizon:
+            expected.append(t)
+            t += period
+        fails = [t for kind, t in events if kind == "fail"]
+        recovers = [t for kind, t in events if kind == "recover"]
+        assert fails == pytest.approx(expected)
+        assert recovers == pytest.approx([f + downtime for f in fails])
+        assert inj.failures_injected == len(expected)
+
+        # Between each pair, is_down() agrees at interior sample points
+        # (boundary instants are left undefined by float accumulation).
+        for f in fails:
+            assert schedule.is_down(f + downtime / 2.0)
+            assert not schedule.is_down(f + downtime + (period - downtime) / 2.0)

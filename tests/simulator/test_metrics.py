@@ -94,7 +94,7 @@ class TestBreakdownAndUsage:
         bd = m.tail_breakdown()
         assert set(bd) == {
             "batching_wait", "cold_start_wait", "queue_delay",
-            "exec_solo", "interference_extra", "total",
+            "exec_solo", "interference_extra", "failure_wait", "total",
         }
         assert bd["total"] == pytest.approx(0.15)
 
