@@ -12,6 +12,7 @@ pytest-benchmark fixtures: ratio assertions need paired timings from the
 same process and moment, not calibrated statistics.
 """
 
+import sys
 from time import perf_counter
 
 import numpy as np
@@ -67,11 +68,16 @@ def best_of_paired(fn_a, fn_b, rounds=ROUNDS):
 
 def test_traced_run_within_10_percent():
     # Tracing proper: spans + decision events + metric sampling.  The SLO
-    # monitor is a separate subsystem with its own budget test below.
+    # monitor and the time-series sampler are separate subsystems with
+    # their own budget tests below.
     untraced, traced = best_of_paired(
         lambda: run_once(None),
         lambda: run_once(
-            Tracer(), config=RunConfig(slo_monitor_window_seconds=0.0)
+            Tracer(),
+            config=RunConfig(
+                slo_monitor_window_seconds=0.0,
+                timeseries_interval_seconds=0.0,
+            ),
         ),
     )
     ratio = traced / untraced
@@ -143,11 +149,101 @@ def test_slo_monitor_overhead_within_budget():
     # as tracing itself.
     without, with_monitor = best_of_paired(
         lambda: run_once(
-            Tracer(), config=RunConfig(slo_monitor_window_seconds=0.0)
+            Tracer(),
+            config=RunConfig(
+                slo_monitor_window_seconds=0.0,
+                timeseries_interval_seconds=0.0,
+            ),
         ),
-        lambda: run_once(Tracer()),
+        lambda: run_once(
+            Tracer(), config=RunConfig(timeseries_interval_seconds=0.0)
+        ),
     )
     ratio = with_monitor / without
     print(f"\nmonitor off {without * 1e3:.1f} ms, on "
           f"{with_monitor * 1e3:.1f} ms, ratio {ratio:.3f}")
     assert ratio <= 1.10
+
+
+def count_calls(fn):
+    """Number of Python function calls executed by ``fn``.
+
+    Deterministic where wall-clock is not: on a shared box two identical
+    workloads can differ by several percent in elapsed time, but they
+    execute the same number of calls every time.
+    """
+    n = 0
+
+    def profiler(frame, event, arg):
+        nonlocal n
+        if event == "call":
+            n += 1
+
+    sys.setprofile(profiler)
+    try:
+        fn()
+    finally:
+        sys.setprofile(None)
+    return n
+
+
+def test_sampler_disabled_costs_under_one_percent():
+    # The tentpole contract: with the time-series interval <= 0 an
+    # untraced run pays nothing for the sampler's existence — no events
+    # scheduled, no buffers allocated, no probes registered.  Gate on
+    # work actually executed (function calls), which is deterministic;
+    # wall-clock only sanity-checks at a noise-absorbing bound.
+    run_once(None)  # warm-up: lazy profile tables and caches
+    calls_off = count_calls(
+        lambda: run_once(
+            None, config=RunConfig(timeseries_interval_seconds=0.0)
+        )
+    )
+    calls_baseline = count_calls(lambda: run_once(None))
+    call_ratio = calls_off / calls_baseline
+    sampling_off, baseline = best_of_paired(
+        lambda: run_once(
+            None, config=RunConfig(timeseries_interval_seconds=0.0)
+        ),
+        lambda: run_once(None),  # default config: untraced, no sampler
+    )
+    wall_ratio = sampling_off / baseline
+    print(f"\nsampler-off {calls_off} calls vs untraced {calls_baseline} "
+          f"({100 * (call_ratio - 1):+.3f}%); wall {sampling_off * 1e3:.1f}"
+          f" ms vs {baseline * 1e3:.1f} ms, ratio {wall_ratio:.3f}")
+    assert call_ratio <= 1.01, (
+        f"disabled sampler executes {100 * (call_ratio - 1):.2f}% more "
+        f"calls, budget is 1%"
+    )
+    assert wall_ratio <= 1.10  # gross-regression guard only; see above
+
+
+def test_sampler_enabled_overhead_within_budget():
+    # Sampling on (default 0.5 s interval, ~28 probes) vs the same traced
+    # run with sampling off: one event per interval plus one float store
+    # per column.  Rides the same 10% budget as the other subsystems.
+    off, on = best_of_paired(
+        lambda: run_once(
+            Tracer(), config=RunConfig(timeseries_interval_seconds=0.0)
+        ),
+        lambda: run_once(Tracer()),
+    )
+    ratio = on / off
+    print(f"\nsampling off {off * 1e3:.1f} ms, on {on * 1e3:.1f} ms, "
+          f"ratio {ratio:.3f}")
+    assert ratio <= 1.10
+
+
+def test_sampler_disabled_run_bit_identical():
+    # The sampler is a pure observer: enabling it on a traced run must
+    # not perturb the simulation itself.
+    with_sampler = run_once(Tracer())
+    without_sampler = run_once(
+        Tracer(), config=RunConfig(timeseries_interval_seconds=0.0)
+    )
+    assert with_sampler.total_cost == without_sampler.total_cost
+    assert with_sampler.n_switches == without_sampler.n_switches
+    assert np.array_equal(
+        with_sampler.metrics.latencies(),
+        without_sampler.metrics.latencies(),
+    )

@@ -7,25 +7,49 @@ the examples and handy when debugging policies.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.framework.system import RunResult
+from repro.hardware.catalog import HardwareCatalog, HardwareSpec, default_catalog
 from repro.workloads.traces import Trace
 
-__all__ = ["rate_sparkline", "hardware_timeline", "render_run_timeline"]
+__all__ = [
+    "node_code",
+    "node_codes",
+    "rate_sparkline",
+    "hardware_timeline",
+    "render_run_timeline",
+]
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 
-#: One-letter codes per node type for the timeline strip.
-_NODE_CODES = {
-    "p3.2xlarge": "V",   # V100
-    "p2.xlarge": "K",    # K80
-    "g3s.xlarge": "M",   # M60
-    "c6i.4xlarge": "c",
-    "c6i.2xlarge": "c",
-    "m4.xlarge": "c",
-    "-": ".",
-}
+
+def node_code(spec: HardwareSpec) -> str:
+    """One-letter timeline code for a hardware spec.
+
+    GPU nodes take the leading letter of the device model (``NVIDIA
+    V100`` -> ``V``, ``K80`` -> ``K``, ``M60`` -> ``M``); all CPU shapes
+    collapse to ``c`` — the strip distinguishes accelerator generations,
+    not CPU sizes.
+    """
+    if not spec.is_gpu:
+        return "c"
+    token = spec.device.split()[-1]
+    return token[0].upper() if token and token[0].isalpha() else "?"
+
+
+def node_codes(catalog: Optional[HardwareCatalog] = None) -> dict[str, str]:
+    """Spec-name -> one-letter code map, plus ``"-"`` (no node) -> ``.``."""
+    codes = {spec.name: node_code(spec) for spec in (catalog or default_catalog())}
+    codes["-"] = "."
+    return codes
+
+
+#: One-letter codes per node type for the timeline strip (derived from
+#: the default Table II catalog; restricted catalogs pass their own).
+_NODE_CODES = node_codes()
 
 
 def rate_sparkline(trace: Trace, width: int = 80) -> str:
@@ -70,10 +94,18 @@ def render_run_timeline(
     result: RunResult, trace: Trace, width: int = 80
 ) -> str:
     """Sparkline + hardware strip + legend, ready to print."""
+    legend_parts, seen = [], set()
+    for spec in default_catalog():
+        code = node_code(spec)
+        if code in seen:
+            continue
+        seen.add(code)
+        label = spec.device.split()[-1] if spec.is_gpu else "CPU"
+        legend_parts.append(f"{code}={label}")
     lines = [
         f"offered rate (peak {trace.peak_rps:.0f} rps):",
         "  " + rate_sparkline(trace, width),
-        "serving node (V=V100 K=K80 M=M60 c=CPU):",
+        f"serving node ({' '.join(legend_parts)}):",
         "  " + hardware_timeline(result, trace.duration, width),
     ]
     return "\n".join(lines)

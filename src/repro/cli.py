@@ -6,13 +6,18 @@ Commands
     Print Table II and the profiled rows for a model.
 ``run MODEL [--scheme S] [--trace T] [--duration D] [--seed N]
     [--chaos F.json] [--recovery MODE] [--trace-out F.jsonl]
-    [--chrome-trace F.json] [--prom-out F.prom] [--profile-engine]``
+    [--chrome-trace F.json] [--prom-out F.prom] [--profile-engine]
+    [--live] [--timeseries-out F] [--ledger [DB]]``
     Serve one workload with one scheme and print the headline metrics;
     optionally inject faults from a ChaosSpec JSON file, enable the
     resilience layer (deadline-aware retry + circuit breakers), and
     record telemetry (spans, decision audit, metric samples) to JSONL,
     Chrome ``trace_event`` format (opens in Perfetto), and/or a
-    Prometheus text-format metrics snapshot.
+    Prometheus text-format metrics snapshot.  ``--live`` paints an
+    in-terminal dashboard while the run executes (plain log lines when
+    stdout is not a TTY); ``--timeseries-out`` saves the sampled
+    time-series bundle (``.npz`` or JSONL); ``--ledger`` appends the
+    run's headline metrics to the SQLite run ledger.
 ``compare MODEL [...]``
     All schemes side by side on the same trace.
 ``experiment ID [--no-cache] [--cache-dir DIR] [...]``
@@ -23,6 +28,12 @@ Commands
 ``trace-report FILE``
     Post-mortem a recorded JSONL trace: latency breakdown, Algorithm 1
     decision audit, switches, leases.
+``timeseries-report FILE [--width N] [--svg F.svg]``
+    Render aligned per-metric panels (rate vs hardware, per-node
+    occupancy, pools & control) from a saved time-series bundle.
+``runs list|show|compare [--ledger DB]``
+    Query the cross-run ledger: list recorded runs, show one run's
+    metrics, or diff two runs with regression flags.
 ``trace-attribution FILE [--slo MS] [--json F] [--html F]``
     Attribute every SLO-violating request span to its dominant latency
     cause and replay each violation's hardware decision against the
@@ -52,6 +63,10 @@ from repro.analysis.attribution import (
     write_attribution_json,
 )
 from repro.analysis.report import emit, render_kv, render_table, scheme_label
+from repro.analysis.timeseries_report import (
+    render_timeseries_report,
+    write_timeseries_svg,
+)
 from repro.analysis.trace_diff import diff_traces, render_trace_diff
 from repro.analysis.trace_report import render_trace_report
 from repro.experiments import table2
@@ -74,11 +89,19 @@ from repro.hardware.profiles import ProfileService
 from repro.simulator.engine import Simulator
 from repro.telemetry import (
     EngineProfiler,
+    LiveDashboard,
+    RunLedger,
     Tracer,
+    read_timeseries,
     summary_counts,
     write_chrome_trace,
     write_jsonl,
     write_prometheus,
+)
+from repro.telemetry.ledger import (
+    DEFAULT_LEDGER_PATH,
+    render_comparison,
+    render_run_rows,
 )
 from repro.workloads.models import ALL_MODELS, get_model
 from repro.workloads.traces import (
@@ -192,6 +215,29 @@ def build_parser() -> argparse.ArgumentParser:
                 "--profile-engine", action="store_true",
                 help="profile event-dispatch wall-clock per callback site",
             )
+            p.add_argument(
+                "--live", action="store_true",
+                help="paint a live dashboard (rate, hardware, queue, "
+                "pools, burn rate) while the run executes; degrades to "
+                "plain log lines when stdout is not a TTY",
+            )
+            p.add_argument(
+                "--timeseries-out", metavar="FILE",
+                help="record the sampled time-series and save the bundle "
+                "here (.npz for columnar numpy, anything else JSONL)",
+            )
+            p.add_argument(
+                "--timeseries-interval", type=float, metavar="SECONDS",
+                default=0.5,
+                help="state-sampling interval in simulated seconds "
+                "(default: 0.5)",
+            )
+            p.add_argument(
+                "--ledger", metavar="DB", nargs="?",
+                const=DEFAULT_LEDGER_PATH, default=None,
+                help="append this run's headline metrics to the SQLite "
+                f"run ledger (default file: {DEFAULT_LEDGER_PATH})",
+            )
 
     p = sub.add_parser("experiment", parents=[common],
                        help="regenerate a paper figure/table")
@@ -214,6 +260,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace_file")
     p.add_argument("--max-rows", type=int, default=30,
                    help="decision-audit rows to show")
+
+    p = sub.add_parser(
+        "timeseries-report", parents=[common],
+        help="render panels from a saved time-series bundle",
+    )
+    p.add_argument("bundle", help="bundle written by run --timeseries-out")
+    p.add_argument("--width", type=int, default=72,
+                   help="panel width in characters")
+    p.add_argument(
+        "--svg", metavar="FILE", dest="svg_out",
+        help="also write the panels as a self-contained SVG here",
+    )
+
+    p = sub.add_parser(
+        "runs", parents=[common],
+        help="query the cross-run ledger (list/show/compare)",
+    )
+    ledger_common = argparse.ArgumentParser(add_help=False)
+    ledger_common.add_argument(
+        "--ledger", metavar="DB", default=DEFAULT_LEDGER_PATH,
+        help=f"ledger database file (default: {DEFAULT_LEDGER_PATH})",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    rp = runs_sub.add_parser("list", parents=[common, ledger_common],
+                             help="recorded runs, newest first")
+    rp.add_argument("--limit", type=int, default=20,
+                    help="show at most this many runs")
+    rp = runs_sub.add_parser("show", parents=[common, ledger_common],
+                             help="one run's full metrics")
+    rp.add_argument("run_id", type=int)
+    rp = runs_sub.add_parser(
+        "compare", parents=[common, ledger_common],
+        help="diff two runs with regression flags",
+    )
+    rp.add_argument("baseline_id", type=int)
+    rp.add_argument("candidate_id", type=int)
+    rp.add_argument(
+        "--rel-tolerance", type=float, default=0.05,
+        help="relative worsening above which a scalar metric (p99, "
+        "cost, cold starts) is flagged REGRESSED (default: 0.05)",
+    )
+    rp.add_argument(
+        "--abs-tolerance", type=float, default=0.005,
+        help="absolute worsening above which a rate metric (compliance, "
+        "violation rate) is flagged REGRESSED (default: 0.005)",
+    )
 
     p = sub.add_parser(
         "trace-attribution", parents=[common],
@@ -275,12 +367,15 @@ def _cmd_run(args) -> int:
     profiles = ProfileService()
     slo = SLO()
     trace = _TRACES[args.trace](model, args.duration, args.seed)
-    tracing = bool(args.trace_out or args.chrome_trace or args.prom_out)
+    tracing = bool(
+        args.trace_out or args.chrome_trace or args.prom_out
+        or args.live or args.timeseries_out or args.ledger
+    )
     tracer = Tracer() if tracing else None
     profiler = EngineProfiler() if args.profile_engine else None
     sim = Simulator(profiler=profiler) if profiler is not None else None
     config = None
-    if args.chaos or args.recovery:
+    if args.chaos or args.recovery or tracing:
         try:
             chaos = ChaosSpec.load(args.chaos) if args.chaos else None
         except FileNotFoundError:
@@ -297,11 +392,23 @@ def _cmd_run(args) -> int:
                 else None
             ),
             seed=args.seed,
+            timeseries_interval_seconds=args.timeseries_interval,
         )
+    dashboard = None
+    if args.live:
+        dashboard = LiveDashboard(
+            hardware_names={
+                i: spec.name for i, spec in enumerate(profiles.catalog)
+            },
+        )
+        tracer.timeseries_observers.append(dashboard.on_sample)
     result, run = _run_one(
         args.scheme, model, trace, profiles, slo, config,
         sim=sim, tracer=tracer,
     )
+    if dashboard is not None:
+        dashboard.finish(run.sim.now)
+        emit("")
     kv = {
         "scheme": scheme_label(args.scheme),
         "model": model.display_name,
@@ -344,6 +451,24 @@ def _cmd_run(args) -> int:
                 monitor=run.slo_monitor, now=run.sim.now,
             )
             emit(f"wrote {n} Prometheus samples to {args.prom_out}")
+        if args.timeseries_out:
+            if run.sampler is None:
+                logger.error(
+                    "no time-series recorded: sampling is disabled "
+                    "(--timeseries-interval must be > 0)"
+                )
+                return 1
+            n = run.sampler.save(args.timeseries_out)
+            emit(
+                f"wrote {n} time-series columns "
+                f"({run.sampler.n_samples} samples) to {args.timeseries_out}"
+            )
+        if args.ledger:
+            with RunLedger(args.ledger) as ledger:
+                run_id = ledger.record(
+                    result, trace=args.trace, seed=args.seed
+                )
+            emit(f"recorded run #{run_id} in {args.ledger}")
     if profiler is not None:
         emit("")
         emit(profiler.rendered())
@@ -421,6 +546,87 @@ def _cmd_trace_report(args) -> int:
     return 0
 
 
+def _cmd_timeseries_report(args) -> int:
+    try:
+        data = read_timeseries(args.bundle)
+    except FileNotFoundError:
+        logger.error("time-series bundle not found: %s", args.bundle)
+        return 1
+    except ValueError as exc:
+        logger.error("not a valid time-series bundle: %s", exc)
+        return 1
+    emit(render_timeseries_report(data, width=args.width))
+    if args.svg_out:
+        n = write_timeseries_svg(data, args.svg_out)
+        emit(f"wrote {n} SVG panels to {args.svg_out}")
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    import os
+
+    if not os.path.exists(args.ledger):
+        logger.error(
+            "no ledger at %s (record runs with: repro run MODEL --ledger)",
+            args.ledger,
+        )
+        return 1
+    with RunLedger(args.ledger) as ledger:
+        if args.runs_command == "list":
+            records = ledger.list_runs(limit=args.limit)
+            if not records:
+                emit(f"ledger {args.ledger} is empty")
+                return 0
+            emit(
+                render_table(
+                    ["id", "recorded", "sha", "scheme", "model", "trace",
+                     "seed", "slo_%", "p99_ms", "cost_$"],
+                    render_run_rows(records),
+                    title=f"run ledger ({args.ledger})",
+                )
+            )
+            return 0
+        if args.runs_command == "show":
+            try:
+                r = ledger.get(args.run_id)
+            except KeyError as exc:
+                logger.error("%s", exc.args[0])
+                return 1
+            kv = {
+                "recorded": r.created_utc,
+                "git sha": r.git_sha or "-",
+                "scheme": r.scheme,
+                "model": r.model,
+                "trace": f"{r.trace} (seed {r.seed}, {r.duration:.0f}s)",
+                "requests": f"{r.completed}/{r.offered} completed",
+                "SLO compliance": f"{100 * r.slo_compliance:.2f}%",
+                "violation rate": f"{100 * r.violation_rate:.2f}%",
+                "P50 / P99": (
+                    f"{r.p50_seconds * 1e3:.1f} / "
+                    f"{r.p99_seconds * 1e3:.1f} ms"
+                ),
+                "cost": f"${r.total_cost:.4f}",
+                "cold starts": r.cold_starts,
+                "switches": r.n_switches,
+            }
+            if r.cache_hits or r.cache_misses:
+                kv["cache"] = f"{r.cache_hits} hits, {r.cache_misses} misses"
+            emit(render_kv(kv, title=f"run #{r.run_id}"))
+            return 0
+        # compare
+        try:
+            cmp = ledger.compare(
+                args.baseline_id, args.candidate_id,
+                rel_tolerance=args.rel_tolerance,
+                abs_tolerance=args.abs_tolerance,
+            )
+        except KeyError as exc:
+            logger.error("%s", exc.args[0])
+            return 1
+        emit(render_comparison(cmp))
+        return 2 if cmp.regressed else 0
+
+
 def _cmd_trace_attribution(args) -> int:
     slo_seconds = args.slo / 1e3 if args.slo is not None else None
     try:
@@ -482,6 +688,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "trace-report": _cmd_trace_report,
+        "timeseries-report": _cmd_timeseries_report,
+        "runs": _cmd_runs,
         "trace-attribution": _cmd_trace_attribution,
         "trace-diff": _cmd_trace_diff,
         "list": _cmd_list,

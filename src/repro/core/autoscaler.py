@@ -82,6 +82,10 @@ class Autoscaler:
         #: still works (the framework's pre-injection idiom) but new code
         #: should pass ``tracer=`` here.
         self.tracer: Tracer = tracer
+        #: Last predictive-tick forecast (rps) and the warm-pool target it
+        #: implied — the time-series sampler's autoscaler probes.
+        self.last_prediction: float = 0.0
+        self.last_pool_target: int = 0
 
     # ------------------------------------------------------------------
     def reactive(self, pool: ContainerPool, n_containers: int) -> int:
@@ -104,11 +108,13 @@ class Autoscaler:
     ) -> int:
         """Pre-warm for the predicted load (one tick of the ~10 s loop)."""
         rate = self.predictor.predict(now, self.interval_seconds)
+        self.last_prediction = rate
         batch = self.profiles.best_batch(self.model, hw, self.slo_seconds)
         if batch == 0:
             return 0
         n_future = math.ceil(rate * self.plan_horizon_seconds)
         needed = containers_for_split(n_future, batch, has_temporal=True)
+        self.last_pool_target = needed
         return pool.ensure(needed)
 
     def reap(self, pool: ContainerPool) -> int:

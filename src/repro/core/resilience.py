@@ -310,6 +310,18 @@ class ResilienceController:
             if b.state != CircuitBreaker.CLOSED
         )
 
+    def breaker_state_counts(self) -> dict[str, int]:
+        """Breakers per state (time-series sampler probe).  Targets that
+        never failed have no breaker and are not counted."""
+        counts = {
+            CircuitBreaker.CLOSED: 0,
+            CircuitBreaker.OPEN: 0,
+            CircuitBreaker.HALF_OPEN: 0,
+        }
+        for b in self._breakers.values():
+            counts[b.state] += 1
+        return counts
+
     # ------------------------------------------------------------------
     # Backoff
     # ------------------------------------------------------------------

@@ -51,6 +51,7 @@ from repro.simulator.job import Job
 from repro.simulator.metrics import MetricsCollector
 from repro.simulator.power import cluster_energy_joules, node_energy_joules
 from repro.telemetry.slo_monitor import SLOMonitor
+from repro.telemetry.timeseries import StateSampler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.workloads.models import ModelSpec
 from repro.workloads.sebs import SebsColocator
@@ -98,6 +99,12 @@ class RunConfig:
         Cadence of the metrics sampler (queue depths, container counts,
         GPU occupancy).  Only consulted when a tracer is enabled; a
         disabled run schedules no sampler events at all.
+    timeseries_interval_seconds:
+        Cadence of the time-series :class:`~repro.telemetry.timeseries.
+        StateSampler` (columnar state probes: rates, per-node occupancy,
+        pool sizes, breaker states).  ``<= 0`` disables it.  Like the
+        metrics sampler it only exists when a tracer is enabled, so an
+        untraced run constructs no sampler and schedules no events.
     slo_monitor_window_seconds:
         Sliding-window width of the live SLO burn-rate monitor
         (:class:`~repro.telemetry.slo_monitor.SLOMonitor`).  ``<= 0``
@@ -120,6 +127,7 @@ class RunConfig:
     sebs_colocation: bool = False
     sebs_invocation_rps: float = 4.0
     telemetry_sample_interval_seconds: float = 1.0
+    timeseries_interval_seconds: float = 0.5
     slo_monitor_window_seconds: float = 30.0
     slo_burn_rate_threshold: float = 2.0
     seed: int = 0
@@ -280,6 +288,9 @@ class ServerlessRun:
         #: Live SLO burn-rate monitor; constructed in ``_setup_telemetry``
         #: only when tracing is enabled and the window is positive.
         self.slo_monitor: Optional[SLOMonitor] = None
+        #: Time-series state sampler; constructed in ``_setup_telemetry``
+        #: only when tracing is enabled and the interval is positive.
+        self.sampler: Optional[StateSampler] = None
         self._executed = False
 
     # ------------------------------------------------------------------
@@ -461,11 +472,186 @@ class ServerlessRun:
                 compliance_goal=self.slo.compliance_goal,
                 burn_rate_threshold=self.config.slo_burn_rate_threshold,
             )
+        if self.config.timeseries_interval_seconds > 0:
+            self._setup_timeseries()
         self.sim.schedule(
             self.config.telemetry_sample_interval_seconds,
             self._telemetry_tick,
             priority=90,
         )
+
+    def _setup_timeseries(self) -> None:
+        """Build the time-series :class:`StateSampler` and its probes.
+
+        Columns are fixed at start: the per-spec node columns cover the
+        whole catalog (NaN while a spec holds no live lease), so two runs
+        over the same catalog export alignable bundles regardless of
+        which hardware their policies visited.
+        """
+        cfg = self.config
+        catalog = self.profiles.catalog
+        hardware_codes = {spec.name: i for i, spec in enumerate(catalog)}
+        sampler = StateSampler(
+            cfg.timeseries_interval_seconds,
+            meta={
+                "scheme": self.policy.name,
+                "model": self.model.name,
+                "slo_seconds": self.slo.target_seconds,
+                "trace_duration": self.trace.duration,
+                "seed": cfg.seed,
+                "hardware_codes": hardware_codes,
+                "hardware_kinds": {s.name: s.kind for s in catalog},
+            },
+        )
+        sampler.observers.extend(self.tracer.timeseries_observers)
+
+        # Offered vs. predicted rate (the Fig 9/11 x-axis pair).
+        sampler.probe("rate.offered", lambda: self.tracker.current_rate)
+        predictor = getattr(self.policy, "predictor", None) or self.autoscaler.predictor
+        sampler.probe(
+            "rate.predicted",
+            lambda: predictor.predict(
+                self.sim.now, cfg.monitor_interval_seconds
+            ),
+        )
+
+        # Which hardware is serving (numeric code; NaN during failover).
+        def hw_selected() -> float:
+            node = self._current
+            if node is None or not node.available:
+                return math.nan
+            return float(hardware_codes[node.spec.name])
+
+        sampler.probe("hw.selected", hw_selected)
+
+        # Backlog shape.
+        def on_current(fn, default=math.nan):
+            def read() -> float:
+                node = self._current
+                if node is None or not node.available:
+                    return default
+                return float(fn(node))
+            return read
+
+        sampler.probe(
+            "queue.device", on_current(lambda n: n.device.queued_requests())
+        )
+        sampler.probe(
+            "queue.pending_windows", lambda: float(len(self._pending_windows))
+        )
+
+        # Container pool (warm/cold) on the serving node.
+        pool_of = lambda n: n.pool(self.model.name)
+        sampler.probe("pool.warm_idle", on_current(lambda n: pool_of(n).n_warm_idle))
+        sampler.probe("pool.spawning", on_current(lambda n: pool_of(n).n_spawning))
+        sampler.probe("pool.busy", on_current(lambda n: pool_of(n).n_busy))
+        sampler.probe("pool.waiting", on_current(lambda n: pool_of(n).n_waiting))
+        sampler.probe(
+            "autoscaler.predicted_rps", lambda: self.autoscaler.last_prediction
+        )
+        sampler.probe(
+            "autoscaler.pool_target",
+            lambda: float(self.autoscaler.last_pool_target),
+        )
+        sampler.probe(
+            "cold_starts.total",
+            lambda: float(
+                sum(
+                    p.cold_starts
+                    for node in self.cluster.nodes
+                    if node.node_id in self._owned_node_ids
+                    for p in node.pools().values()
+                )
+            ),
+        )
+
+        # Per-node-type occupancy / MPS co-run level across live leases.
+        def per_spec(spec_name: str, attr: str):
+            def read() -> float:
+                vals = [
+                    getattr(node, attr)
+                    for node in self.cluster.active_nodes()
+                    if node.node_id in self._owned_node_ids
+                    and node.spec.name == spec_name
+                ]
+                if not vals:
+                    return math.nan
+                return float(sum(vals)) / len(vals)
+            return read
+
+        for spec in catalog:
+            sampler.probe(
+                f"node.{spec.name}.occupancy", per_spec(spec.name, "occupancy")
+            )
+            sampler.probe(
+                f"node.{spec.name}.co_run", per_spec(spec.name, "co_run_level")
+            )
+
+        # Resilience layer (only when configured).
+        if self.resilience is not None:
+            res = self.resilience
+            sampler.probe(
+                "breaker.open",
+                lambda: float(res.breaker_state_counts()["open"]),
+            )
+            sampler.probe(
+                "breaker.half_open",
+                lambda: float(res.breaker_state_counts()["half_open"]),
+            )
+            sampler.probe(
+                "resilience.retries_scheduled",
+                lambda: float(res.retries_scheduled),
+            )
+            sampler.probe(
+                "resilience.requests_shed", lambda: float(res.requests_shed)
+            )
+
+        # Live SLO burn rate (worst window) when the monitor exists; the
+        # monitor is created just before this method runs.
+        if self.slo_monitor is not None:
+            mon = self.slo_monitor
+            sampler.probe(
+                "slo.burn_rate",
+                lambda: max(
+                    (
+                        s.burn_rate
+                        for s in mon.window_stats(self.sim.now, include_p99=False)
+                    ),
+                    default=0.0,
+                ),
+            )
+            sampler.probe(
+                "slo.attainment",
+                lambda: min(
+                    (
+                        s.attainment
+                        for s in mon.window_stats(self.sim.now, include_p99=False)
+                    ),
+                    default=1.0,
+                ),
+            )
+
+        # Experiment result-cache counters (process-level registry; flat
+        # zero outside experiment harness runs).  Imported lazily to keep
+        # the framework layer import-free of the experiments package.
+        from repro.experiments.cache import CACHE_METRICS
+
+        sampler.probe(
+            "cache.hits",
+            lambda: CACHE_METRICS.counter("experiment_cache.hits").value,
+        )
+        sampler.probe(
+            "cache.misses",
+            lambda: CACHE_METRICS.counter("experiment_cache.misses").value,
+        )
+
+        sampler.start(
+            self.sim,
+            self.trace.duration + cfg.drain_grace_seconds,
+            priority=90,
+        )
+        self.sampler = sampler
+        self.tracer.timeseries = sampler
 
     def _telemetry_tick(self) -> None:
         now = self.sim.now

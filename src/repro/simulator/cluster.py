@@ -101,6 +101,19 @@ class NodeInstance:
     def recover(self) -> None:
         self.available = True
 
+    # ------------------------------------------------------------------
+    # Time-series probe surface
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> float:
+        """Instantaneous device occupancy in ``[0, 1]`` (0 when failed)."""
+        return self.device.occupancy if self.available else 0.0
+
+    @property
+    def co_run_level(self) -> int:
+        """Jobs sharing the device right now (0 when failed)."""
+        return self.device.co_run_level if self.available else 0
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NodeInstance({self.spec.name}#{self.node_id})"
 
@@ -218,6 +231,21 @@ class Cluster:
         for pool in node.pools().values():
             pool.terminate_all()
         node.available = False
+
+    # ------------------------------------------------------------------
+    # Time-series probe surface
+    # ------------------------------------------------------------------
+    def active_nodes(self) -> list[NodeInstance]:
+        """Nodes with a live lease (the ones paying rent right now)."""
+        return [n for n in self.nodes if n.node_id in self._active_leases]
+
+    def occupancy_by_spec(self) -> dict[str, float]:
+        """Mean instantaneous occupancy per hardware type over live
+        leases; specs with no active node are absent."""
+        acc: dict[str, list[float]] = {}
+        for node in self.active_nodes():
+            acc.setdefault(node.spec.name, []).append(node.occupancy)
+        return {name: sum(vals) / len(vals) for name, vals in acc.items()}
 
     # ------------------------------------------------------------------
     # Cost accounting (Section V: lease-time weighted node prices)

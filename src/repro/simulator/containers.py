@@ -115,6 +115,16 @@ class ContainerPool:
     def n_waiting(self) -> int:
         return len(self._waiters)
 
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time pool state for the time-series sampler."""
+        return {
+            "warm_idle": len(self._idle),
+            "busy": self._busy,
+            "spawning": self._spawning,
+            "waiting": len(self._waiters),
+            "cold_starts": self.cold_starts,
+        }
+
     # ------------------------------------------------------------------
     # Scaling
     # ------------------------------------------------------------------

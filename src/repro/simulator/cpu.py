@@ -88,6 +88,17 @@ class CPUDevice:
     def idle(self) -> bool:
         return not self._running and not self._queue
 
+    @property
+    def co_run_level(self) -> int:
+        """Batches executing concurrently across the CPU lanes."""
+        return len(self._running)
+
+    @property
+    def occupancy(self) -> float:
+        """Instantaneous fraction of lanes busy, in ``[0, 1]``."""
+        lanes = max(1, self.spec.cpu_lanes)
+        return min(1.0, len(self._running) / lanes)
+
     def utilization(self, horizon: float) -> float:
         """Fraction of ``[0, horizon]`` with at least one lane busy."""
         busy = self.busy_seconds

@@ -40,7 +40,13 @@ import math
 from time import perf_counter
 from typing import Callable, Optional, Protocol
 
-__all__ = ["Event", "Simulator", "SimulationError", "DispatchProfiler"]
+__all__ = [
+    "Event",
+    "RepeatingEvent",
+    "Simulator",
+    "SimulationError",
+    "DispatchProfiler",
+]
 
 #: Module-level aliases save an attribute lookup per schedule/dispatch.
 _heappush = heapq.heappush
@@ -114,6 +120,31 @@ class Event(list):
     def cancel(self) -> None:
         """Mark this event as cancelled; it will never fire."""
         self[3] = None
+
+
+class RepeatingEvent:
+    """Handle for a :meth:`Simulator.every` loop.
+
+    Wraps the *current* underlying :class:`Event`; :meth:`cancel` both
+    tombstones it and stops the loop from rescheduling, so a single call
+    ends the series no matter how many ticks have already fired.
+    """
+
+    __slots__ = ("_event", "_cancelled")
+
+    def __init__(self) -> None:
+        self._event: Optional[Event] = None
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop the series; the pending tick (if any) never fires."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
 
 
 class Simulator:
@@ -219,6 +250,40 @@ class Simulator:
         ev = Event((float(time), priority, next(self._seq), fn))
         _heappush(self._heap, ev)
         return ev
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[[], None],
+        *,
+        until: Optional[float] = None,
+        priority: int = 0,
+    ) -> RepeatingEvent:
+        """Fire ``fn`` every ``interval`` seconds, first at ``now + interval``.
+
+        The loop reschedules itself after each tick and stops on its own
+        once the *next* fire time would exceed ``until`` (inclusive), so a
+        horizon shorter than one interval schedules nothing at all.  The
+        returned :class:`RepeatingEvent` cancels the whole series.
+        """
+        if not 0.0 < interval < _INF:
+            raise SimulationError(f"repeat interval must be positive: {interval!r}")
+        if fn is None:
+            raise SimulationError("event callback must be callable, not None")
+        handle = RepeatingEvent()
+
+        def tick() -> None:
+            fn()
+            if handle._cancelled:
+                return
+            if until is None or self._now + interval <= until:
+                handle._event = self.schedule(interval, tick, priority)
+
+        if until is None or self._now + interval <= until:
+            handle._event = self.schedule(interval, tick, priority)
+        else:
+            handle._cancelled = True
+        return handle
 
     # ------------------------------------------------------------------
     # Execution

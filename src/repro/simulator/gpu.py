@@ -145,6 +145,27 @@ class GPUDevice:
         return self.spec.memory_gb - self._mem_used
 
     @property
+    def co_run_level(self) -> int:
+        """Jobs sharing the device right now (the MPS co-location degree;
+        1 while a lone temporal job runs, 0 when idle)."""
+        return len(self._active)
+
+    @property
+    def occupancy(self) -> float:
+        """Instantaneous device occupancy in ``[0, 1]``.
+
+        For a GPU this is the resident set's aggregate bandwidth demand
+        (``total_fbr``) clamped to 1 — the MPS occupancy the interference
+        model slows the set down by.  A resident set with zero recorded
+        FBR (e.g. profile-less synthetic jobs) still counts as fully
+        occupied: the device is serving.
+        """
+        if not self._active:
+            return 0.0
+        fbr = self.total_fbr
+        return min(1.0, fbr) if fbr > 0.0 else 1.0
+
+    @property
     def idle(self) -> bool:
         return not self._active and not self._pending_spatial and not self._temporal_q
 

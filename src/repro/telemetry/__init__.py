@@ -44,6 +44,13 @@ from repro.telemetry.metrics import (
 from repro.telemetry.profiling import EngineProfiler
 from repro.telemetry.prometheus import to_prometheus_text, write_prometheus
 from repro.telemetry.slo_monitor import SLOMonitor, WindowStats
+from repro.telemetry.timeseries import (
+    StateSampler,
+    TimeSeriesData,
+    read_timeseries,
+)
+from repro.telemetry.dashboard import LiveDashboard
+from repro.telemetry.ledger import RunLedger, RunRecord, LedgerComparison
 from repro.telemetry.exporters import (
     TraceData,
     read_jsonl,
@@ -59,15 +66,22 @@ __all__ = [
     "EngineProfiler",
     "Gauge",
     "Histogram",
+    "LedgerComparison",
+    "LiveDashboard",
     "MetricsRegistry",
     "NULL_TRACER",
+    "RunLedger",
+    "RunRecord",
     "SLOMonitor",
     "SpanRecord",
+    "StateSampler",
+    "TimeSeriesData",
     "TraceData",
     "TraceEventRecord",
     "Tracer",
     "WindowStats",
     "read_jsonl",
+    "read_timeseries",
     "summary_counts",
     "to_chrome_trace",
     "to_jsonl_lines",

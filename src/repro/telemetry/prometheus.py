@@ -10,7 +10,9 @@ snapshot can be diffed, scraped by tooling, or pushed to a gateway:
   ``_count`` (always bucket-resolution: the exposition format is bucketed
   by definition, independent of the registry's exact-quantile tier),
 * SLO monitor windows -> ``repro_slo_window_*`` gauges labelled by
-  ``{scope, key}`` plus a 0/1 ``repro_slo_alert_firing`` flag.
+  ``{scope, key}`` plus a 0/1 ``repro_slo_alert_firing`` flag,
+* time-series sampler columns -> ``repro_ts_*`` gauges holding each
+  series' most recent reading (NaN series are skipped).
 
 Metric names are sanitised (``.`` and other non-identifier characters
 become ``_``) and prefixed with ``repro_``.  All values are rendered with
@@ -86,6 +88,20 @@ def to_prometheus_text(
         name = _metric_name(raw)
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_fmt(gauge.read())}")
+
+    # Time-series columns (when a StateSampler is attached to the tracer):
+    # each sampled series' most recent reading becomes a gauge under the
+    # ``repro_ts_`` prefix.  NaN (probe never fired / spec never leased)
+    # series are skipped — Prometheus has no NaN-safe gauge semantics.
+    sampler = getattr(source, "timeseries", None)
+    if sampler is not None:
+        for raw in sorted(sampler.probe_names()):
+            value = sampler.last(raw)
+            if math.isnan(value):
+                continue
+            name = "repro_ts_" + _NAME_RE.sub("_", raw)
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(value)}")
 
     for raw, hist in sorted(reg._histograms.items()):
         name = _metric_name(raw)

@@ -98,6 +98,15 @@ class Tracer:
         self._pending_batches: list["Batch"] = []
         self.events: list[TraceEventRecord] = []
         self.meta: dict[str, Any] = {}
+        #: The run's :class:`~repro.telemetry.timeseries.StateSampler`,
+        #: attached by the framework when time-series sampling is on
+        #: (``None`` otherwise) so exporters and the Prometheus snapshot
+        #: can reach the sampled columns.
+        self.timeseries: Any = None
+        #: Callbacks ``(now, row)`` forwarded to the sampler at
+        #: construction — the CLI registers the live dashboard here
+        #: before the run (and its sampler) exists.
+        self.timeseries_observers: list[Any] = []
 
     @property
     def spans(self) -> list[SpanRecord]:

@@ -3,7 +3,10 @@
 import pytest
 
 from repro.analysis.timeline import (
+    _NODE_CODES,
     hardware_timeline,
+    node_code,
+    node_codes,
     rate_sparkline,
     render_run_timeline,
 )
@@ -61,3 +64,45 @@ class TestHardwareTimeline:
         out = render_run_timeline(result, trace, width=40)
         assert "offered rate" in out
         assert "serving node" in out
+
+    def test_legend_derived_from_catalog(self, run_result):
+        result, trace = run_result
+        out = render_run_timeline(result, trace, width=40)
+        assert "V=V100 K=K80 M=M60 c=CPU" in out
+
+
+class TestNodeCodes:
+    """The strip alphabet is derived from the hardware catalog."""
+
+    def test_default_catalog_letters_stable(self):
+        # The historical letters must survive the catalog derivation.
+        assert _NODE_CODES == {
+            "p3.2xlarge": "V",
+            "p2.xlarge": "K",
+            "g3s.xlarge": "M",
+            "c6i.4xlarge": "c",
+            "c6i.2xlarge": "c",
+            "m4.xlarge": "c",
+            "-": ".",
+        }
+
+    def test_gpu_code_is_device_initial(self):
+        from repro.hardware.catalog import default_catalog
+
+        cat = default_catalog()
+        assert node_code(cat.get("p3.2xlarge")) == "V"
+        assert node_code(cat.get("p2.xlarge")) == "K"
+
+    def test_cpu_shapes_collapse_to_c(self):
+        from repro.hardware.catalog import default_catalog
+
+        for spec in default_catalog().cpus():
+            assert node_code(spec) == "c"
+
+    def test_restricted_catalog(self):
+        from repro.hardware.catalog import default_catalog
+
+        cat = default_catalog().restricted(["p3.2xlarge", "m4.xlarge"])
+        assert node_codes(cat) == {
+            "p3.2xlarge": "V", "m4.xlarge": "c", "-": ".",
+        }

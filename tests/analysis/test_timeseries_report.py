@@ -1,0 +1,118 @@
+"""Tests for the time-series panel renderer and SVG export."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries_report import (
+    render_timeseries_report,
+    write_timeseries_svg,
+)
+from repro.telemetry.timeseries import TimeSeriesData
+
+
+def make_data(n=20):
+    times = np.arange(n, dtype=float) * 0.5
+    half = n // 2
+    return TimeSeriesData(
+        times=times,
+        columns={
+            "rate.offered": np.linspace(0, 100, n),
+            "rate.predicted": np.linspace(0, 90, n),
+            # M60 (idx 2) for the first half, V100 (idx 0) after.
+            "hw.selected": np.array([2.0] * half + [0.0] * (n - half)),
+            "node.p3.2xlarge.occupancy": np.array(
+                [math.nan] * half + [0.5] * (n - half)
+            ),
+            "node.g3s.xlarge.occupancy": np.array(
+                [0.8] * half + [math.nan] * (n - half)
+            ),
+            "node.p2.xlarge.occupancy": np.full(n, math.nan),
+            "pool.warm_idle": np.full(n, 3.0),
+            "queue.device": np.zeros(n),
+            "slo.burn_rate": np.zeros(n),
+        },
+        meta={
+            "scheme": "paldia",
+            "model": "resnet50",
+            "seed": 0,
+            "interval_seconds": 0.5,
+            "hardware_codes": {"p3.2xlarge": 0, "g3s.xlarge": 2,
+                               "p2.xlarge": 1},
+        },
+    )
+
+
+class TestTerminalReport:
+    def test_contains_all_three_panel_groups(self):
+        out = render_timeseries_report(make_data())
+        assert "offered vs predicted rate" in out
+        assert "per-node occupancy" in out
+        assert "pools & control" in out
+
+    def test_hardware_strip_tracks_switch(self):
+        out = render_timeseries_report(make_data(), width=10)
+        strip_line = next(
+            l for l in out.splitlines() if "serving node" in l
+        )
+        strip = strip_line.split()[-1]
+        # M60 first half, V100 second half.
+        assert strip == "MMMMMVVVVV"
+        assert "M=g3s.xlarge" in out and "V=p3.2xlarge" in out
+
+    def test_never_leased_node_omitted(self):
+        out = render_timeseries_report(make_data())
+        assert "p2.xlarge" not in out.split("pools & control")[0].split(
+            "per-node occupancy"
+        )[1]
+
+    def test_empty_bundle(self):
+        data = TimeSeriesData(times=np.empty(0), columns={}, meta={})
+        out = render_timeseries_report(data)
+        assert "empty bundle" in out
+
+    def test_probe_errors_surfaced(self):
+        data = make_data()
+        data.meta["probe_errors"] = {"bad": "RuntimeError('x')"}
+        out = render_timeseries_report(data)
+        assert "probe errors" in out and "bad" in out
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_timeseries_report(make_data(), width=4)
+
+
+class TestSvgExport:
+    def test_writes_panels(self, tmp_path):
+        path = str(tmp_path / "out.svg")
+        n = write_timeseries_svg(make_data(), path)
+        text = open(path).read()
+        assert text.startswith("<svg") and text.endswith("</svg>")
+        assert n > 0
+        assert text.count("<polyline") >= n - 1  # all-NaN cols excluded
+        assert "rate.offered" in text
+
+    def test_metric_subset(self, tmp_path):
+        path = str(tmp_path / "out.svg")
+        n = write_timeseries_svg(
+            make_data(), path, metrics=["rate.offered"]
+        )
+        assert n == 1
+        text = open(path).read()
+        assert "rate.offered" in text and "pool.warm_idle" not in text
+
+    def test_nan_gaps_break_polyline(self, tmp_path):
+        path = str(tmp_path / "out.svg")
+        write_timeseries_svg(
+            make_data(), path, metrics=["node.p3.2xlarge.occupancy"]
+        )
+        text = open(path).read()
+        # Only the non-NaN second half is drawn: a single segment.
+        assert text.count("<polyline") == 1
+
+    def test_empty_bundle(self, tmp_path):
+        path = str(tmp_path / "out.svg")
+        data = TimeSeriesData(times=np.empty(0), columns={}, meta={})
+        assert write_timeseries_svg(data, path) == 0
+        assert "no samples" in open(path).read()

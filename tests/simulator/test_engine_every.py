@@ -1,0 +1,66 @@
+"""Tests for the repeating-event helper on the simulator."""
+
+import pytest
+
+from repro.simulator.engine import SimulationError, Simulator
+
+
+class TestEvery:
+    def test_fires_on_interval(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), until=4.0)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_unbounded_runs_until_cancelled(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(3.5, handle.cancel)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0]
+        assert handle.cancelled
+
+    def test_cancel_from_inside_callback(self):
+        sim = Simulator()
+        ticks = []
+        handle = None
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                handle.cancel()
+
+        handle = sim.every(1.0, tick)
+        sim.run()
+        assert ticks == [1.0, 2.0]
+
+    def test_horizon_before_first_tick_never_fires(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.every(10.0, lambda: ticks.append(sim.now), until=5.0)
+        sim.run()
+        assert ticks == []
+        assert handle.cancelled
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.every(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.every(float("inf"), lambda: None)
+
+    def test_missing_callback_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(1.0, None)
+
+    def test_priority_orders_against_same_time_events(self):
+        sim = Simulator()
+        order = []
+        sim.every(1.0, lambda: order.append("low"), until=1.0, priority=90)
+        sim.schedule(1.0, lambda: order.append("high"), priority=0)
+        sim.run()
+        assert order == ["high", "low"]

@@ -50,22 +50,28 @@ class TestHistogram:
         assert h.quantile(1.0) == 3.0
         assert h.quantile(0.0) == 0.5
 
-    def test_quantile_degrades_to_bucket_resolution_past_cap(self):
+    def test_tracked_quantile_stays_accurate_past_cap(self):
         h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
-        h.RAW_SAMPLE_CAP = 3  # instance override: force early degradation
+        h.RAW_SAMPLE_CAP = 3  # instance override: force early handover
         for v in (0.5, 0.6, 1.5, 3.0):
             h.observe(v)
         assert not h.exact
-        assert h.quantile(0.5) == 1.0  # bucket upper bound, not 0.6
+        # p50 is tracked: the P² estimator (seeded from the exact raw
+        # prefix) keeps sample resolution instead of the 1.0 bucket edge.
+        assert h.quantile(0.5) == 0.6
+        # q=1.0 is untracked: bucket-resolution fallback.
         assert h.quantile(1.0) == 4.0
         # Aggregates never degrade.
         assert h.n == 4 and h.mean == pytest.approx(5.6 / 4)
 
-    def test_overflow_bucket_reports_inf_past_cap(self):
+    def test_untracked_overflow_bucket_reports_inf_past_cap(self):
         h = Histogram("lat", bounds=(1.0,))
         h.RAW_SAMPLE_CAP = 0
         h.observe(10.0)
-        assert h.quantile(0.99) == float("inf")
+        # 0.98 is not P²-tracked, so it falls back to the overflow
+        # bucket's upper bound; tracked 0.99 keeps the sample value.
+        assert h.quantile(0.98) == float("inf")
+        assert h.quantile(0.99) == 10.0
 
     def test_overflow_value_exact_below_cap(self):
         h = Histogram("lat", bounds=(1.0,))
@@ -122,3 +128,77 @@ class TestRegistry:
         reg.counter("c")
         reg.gauge("g")
         assert reg.metric_names == ["c", "g", "h"]
+
+
+class TestP2Quantile:
+    """The streaming estimator that replaces bucket fallback past the cap."""
+
+    def test_seeded_estimate_exact_at_handover(self):
+        from repro.telemetry.metrics import P2Quantile
+
+        samples = sorted(float(i) for i in range(1, 101))
+        est = P2Quantile.seeded(samples, 0.5)
+        assert est.value() == pytest.approx(50.0, abs=1.0)
+
+    def test_accuracy_on_large_lognormal_stream(self):
+        import numpy as np
+
+        from repro.telemetry.metrics import Histogram
+
+        rng = np.random.default_rng(3)
+        data = rng.lognormal(mean=-2.5, sigma=0.8, size=50_000)
+        h = Histogram("lat")
+        for v in data:
+            h.observe(v)
+        assert not h.exact
+        for q in Histogram.TRACKED_QUANTILES:
+            est = h.quantile(q)
+            true = float(np.quantile(data, q))
+            # P2 error is ~O(1/sqrt(n)); 2% is a loose ceiling — the old
+            # bucket fallback would be off by the full bucket width.
+            assert abs(est - true) / true < 0.02, (q, est, true)
+
+    def test_beats_bucket_resolution(self):
+        import numpy as np
+
+        from repro.telemetry.metrics import Histogram
+
+        rng = np.random.default_rng(4)
+        data = rng.lognormal(mean=-2.5, sigma=0.8, size=20_000)
+        h = Histogram("lat")
+        for v in data:
+            h.observe(v)
+        true = float(np.quantile(data, 0.99))
+        p2_err = abs(h.quantile(0.99) - true)
+        # The bucket the p99 falls into (0.25..0.5): edge error is huge.
+        bucket_err = abs(0.5 - true)
+        assert p2_err < bucket_err / 2
+
+    def test_monotone_across_tracked_quantiles(self):
+        import numpy as np
+
+        from repro.telemetry.metrics import Histogram
+
+        rng = np.random.default_rng(5)
+        h = Histogram("lat")
+        for v in rng.exponential(0.1, size=10_000):
+            h.observe(v)
+        p50, p90, p99 = (h.quantile(q)
+                         for q in Histogram.TRACKED_QUANTILES)
+        assert p50 <= p90 <= p99
+
+    def test_unseeded_bootstrap_under_five_samples(self):
+        from repro.telemetry.metrics import P2Quantile
+
+        est = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            est.add(v)
+        assert est.value() == 2.0
+
+    def test_invalid_quantile_rejected(self):
+        from repro.telemetry.metrics import P2Quantile
+
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)

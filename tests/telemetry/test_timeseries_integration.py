@@ -1,0 +1,163 @@
+"""End-to-end tests: the sampler wired through a real traced run."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.schemes import make_policy
+from repro.framework.slo import SLO
+from repro.framework.system import RunConfig, ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.telemetry import Tracer, to_prometheus_text
+from repro.workloads.models import get_model
+from repro.workloads.traces import poisson_trace
+
+DURATION = 20.0
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    model = get_model("resnet50")
+    profiles = ProfileService()
+    slo = SLO()
+    trace = poisson_trace(
+        rate_rps=model.peak_rps, duration=DURATION, seed=0
+    )
+    policy = make_policy(
+        "paldia", model, profiles, slo.target_seconds, trace
+    )
+    tracer = Tracer()
+    run = ServerlessRun(model, trace, policy, profiles, slo, tracer=tracer)
+    result = run.execute()
+    return result, run, tracer
+
+
+class TestSamplerWiring:
+    def test_sampler_attached_and_sampled(self, traced_run):
+        _, run, tracer = traced_run
+        assert run.sampler is not None
+        assert tracer.timeseries is run.sampler
+        assert run.sampler.n_samples > 0
+        assert run.sampler.meta.get("probe_errors") is None
+
+    def test_core_columns_present_and_finite(self, traced_run):
+        _, run, _ = traced_run
+        for name in ("rate.offered", "rate.predicted", "hw.selected",
+                     "queue.device", "pool.warm_idle",
+                     "autoscaler.pool_target", "cold_starts.total",
+                     "slo.burn_rate", "cache.hits"):
+            col = run.sampler.column(name)
+            assert not np.all(np.isnan(col)), name
+
+    def test_per_spec_columns_cover_catalog(self, traced_run):
+        _, run, _ = traced_run
+        names = set(run.sampler.probe_names())
+        for spec in run.profiles.catalog:
+            assert f"node.{spec.name}.occupancy" in names
+            assert f"node.{spec.name}.co_run" in names
+
+    def test_leased_spec_has_occupancy_readings(self, traced_run):
+        _, run, _ = traced_run
+        leased = [
+            n for n in run.sampler.probe_names()
+            if n.startswith("node.") and n.endswith(".occupancy")
+            and not np.all(np.isnan(run.sampler.column(n)))
+        ]
+        assert leased  # at least one node served traffic
+
+    def test_offered_rate_tracks_trace(self, traced_run):
+        _, run, _ = traced_run
+        col = run.sampler.column("rate.offered")
+        assert np.nanmax(col) > 0.0
+
+    def test_hw_selected_codes_valid(self, traced_run):
+        _, run, _ = traced_run
+        codes = run.sampler.column("hw.selected")
+        finite = codes[~np.isnan(codes)]
+        n = len(run.sampler.meta["hardware_codes"])
+        assert finite.size > 0
+        assert ((finite >= 0) & (finite < n)).all()
+
+    def test_disabled_interval_schedules_no_sampler(self):
+        model = get_model("resnet50")
+        profiles = ProfileService()
+        slo = SLO()
+        trace = poisson_trace(rate_rps=20.0, duration=5.0, seed=0)
+        policy = make_policy(
+            "paldia", model, profiles, slo.target_seconds, trace
+        )
+        run = ServerlessRun(
+            model, trace, policy, profiles, slo,
+            RunConfig(timeseries_interval_seconds=0.0), tracer=Tracer(),
+        )
+        run.execute()
+        assert run.sampler is None
+
+    def test_untraced_run_has_no_sampler(self):
+        model = get_model("resnet50")
+        profiles = ProfileService()
+        slo = SLO()
+        trace = poisson_trace(rate_rps=20.0, duration=5.0, seed=0)
+        policy = make_policy(
+            "paldia", model, profiles, slo.target_seconds, trace
+        )
+        run = ServerlessRun(model, trace, policy, profiles, slo)
+        run.execute()
+        assert run.sampler is None
+
+
+class TestPrometheusGauges:
+    def test_ts_gauges_exported(self, traced_run):
+        _, _, tracer = traced_run
+        text = to_prometheus_text(tracer)
+        ts_lines = [l for l in text.splitlines()
+                    if l.startswith("repro_ts_")]
+        assert any("repro_ts_rate_offered" in l for l in ts_lines)
+        assert any("repro_ts_pool_warm_idle" in l for l in ts_lines)
+
+    def test_nan_series_skipped(self, traced_run):
+        _, run, tracer = traced_run
+        text = to_prometheus_text(tracer)
+        for name in run.sampler.probe_names():
+            if math.isnan(run.sampler.last(name)):
+                sanitized = name.replace(".", "_")
+                assert f"repro_ts_{sanitized} " not in text
+
+    def test_registry_only_source_has_no_ts_gauges(self):
+        from repro.telemetry import MetricsRegistry
+
+        text = to_prometheus_text(MetricsRegistry())
+        assert "repro_ts_" not in text
+
+
+class TestDeviceProbes:
+    def test_gpu_occupancy_and_co_run(self):
+        from repro.hardware.catalog import default_catalog
+        from repro.simulator.engine import Simulator
+        from repro.simulator.gpu import GPUDevice
+
+        spec = default_catalog().get("p3.2xlarge")
+        gpu = GPUDevice(Simulator(), spec)
+        assert gpu.occupancy == 0.0
+        assert gpu.co_run_level == 0
+
+    def test_cpu_occupancy_and_co_run(self):
+        from repro.hardware.catalog import default_catalog
+        from repro.simulator.cpu import CPUDevice
+        from repro.simulator.engine import Simulator
+
+        spec = default_catalog().get("c6i.4xlarge")
+        cpu = CPUDevice(Simulator(), spec)
+        assert cpu.occupancy == 0.0
+        assert cpu.co_run_level == 0
+
+    def test_pool_snapshot_keys(self, traced_run):
+        _, run, _ = traced_run
+        node = run._current
+        pool = node.pools().get(run.model.name) if node else None
+        if pool is None:  # drained run may have released the node
+            pytest.skip("no live pool at end of run")
+        snap = pool.snapshot()
+        assert set(snap) == {"warm_idle", "busy", "spawning", "waiting",
+                             "cold_starts"}
