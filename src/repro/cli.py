@@ -7,6 +7,7 @@ Commands
 ``run MODEL [--scheme S] [--trace T] [--duration D] [--seed N]
     [--chaos F.json] [--recovery MODE] [--trace-out F.jsonl]
     [--chrome-trace F.json] [--prom-out F.prom] [--profile-engine]
+    [--self-profile] [--profile-out F.json]
     [--live] [--timeseries-out F] [--ledger [DB]]``
     Serve one workload with one scheme and print the headline metrics;
     optionally inject faults from a ChaosSpec JSON file, enable the
@@ -25,6 +26,18 @@ Commands
     The available IDs derive from the experiment registry
     (:mod:`repro.experiments.registry`); matrix cells are replayed from
     the on-disk result cache when their content hash is unchanged.
+``profile [MODEL] [--scheme S] [--trace T] [--duration D] [--seed N]
+    [--json F] [--speedscope F] [--collapsed F] [--alloc] [--top N]``
+    Run one scenario under the hierarchical self-profiler
+    (:class:`~repro.telemetry.selfprof.RunProfiler`) and print the
+    phase tree (where the reproduction's own wall-clock goes: engine
+    dispatch, Algorithm 1 ticks, batch formation, GPU interference
+    math, telemetry).  Optional exports: ``repro.selfprof/1`` JSON,
+    speedscope JSON (https://www.speedscope.app), and
+    ``flamegraph.pl``-compatible collapsed stacks.
+``profile --diff BASELINE.json CANDIDATE.json``
+    Compare two saved self-profiles: per-phase exclusive-time deltas,
+    largest movers first.
 ``trace-report FILE``
     Post-mortem a recorded JSONL trace: latency breakdown, Algorithm 1
     decision audit, switches, leases.
@@ -91,8 +104,11 @@ from repro.telemetry import (
     EngineProfiler,
     LiveDashboard,
     RunLedger,
+    RunProfiler,
     Tracer,
+    load_profile,
     read_timeseries,
+    render_profile_diff,
     summary_counts,
     write_chrome_trace,
     write_jsonl,
@@ -216,6 +232,17 @@ def build_parser() -> argparse.ArgumentParser:
                 help="profile event-dispatch wall-clock per callback site",
             )
             p.add_argument(
+                "--self-profile", action="store_true",
+                help="run under the hierarchical self-profiler and print "
+                "the phase tree after the run result",
+            )
+            p.add_argument(
+                "--profile-out", metavar="FILE",
+                help="self-profile the run and write the standalone "
+                "repro.selfprof/1 JSON snapshot here (implies "
+                "--self-profile; needs no other telemetry flag)",
+            )
+            p.add_argument(
                 "--live", action="store_true",
                 help="paint a live dashboard (rate, hardware, queue, "
                 "pools, burn rate) while the run executes; degrades to "
@@ -253,6 +280,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
         help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+    p = sub.add_parser(
+        "profile", parents=[common],
+        help="self-profile one run: phase tree + flamegraph exports",
+    )
+    p.add_argument("model", nargs="?", default="resnet50")
+    p.add_argument("--scheme", default="paldia",
+                   choices=list(SCHEMES) + ["oracle"])
+    p.add_argument("--trace", default="azure", choices=sorted(_TRACES))
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", metavar="FILE", dest="json_out",
+        help="write the repro.selfprof/1 JSON snapshot here "
+        "(feed two of these to profile --diff)",
+    )
+    p.add_argument(
+        "--speedscope", metavar="FILE", dest="speedscope_out",
+        help="write a speedscope-format profile here "
+        "(open at https://www.speedscope.app)",
+    )
+    p.add_argument(
+        "--collapsed", metavar="FILE", dest="collapsed_out",
+        help="write flamegraph.pl-compatible collapsed stacks here",
+    )
+    p.add_argument(
+        "--alloc", action="store_true",
+        help="also track per-phase allocation deltas via tracemalloc "
+        "(slows the run; wall-clock numbers remain comparable only "
+        "to other --alloc profiles)",
+    )
+    p.add_argument(
+        "--top", type=int, default=40,
+        help="phase-tree rows to print (default: 40)",
+    )
+    p.add_argument(
+        "--diff", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+        default=None,
+        help="instead of running: diff two saved profile JSONs, "
+        "largest per-phase exclusive-time movers first",
     )
 
     p = sub.add_parser("trace-report", parents=[common],
@@ -350,14 +418,15 @@ def _cmd_profiles(args) -> int:
 
 
 def _run_one(scheme: str, model, trace, profiles, slo, config=None,
-             sim=None, tracer=None):
+             sim=None, tracer=None, selfprof=None):
     """Execute one scheme; returns ``(RunResult, ServerlessRun)`` so
     callers can reach post-run state (SLO monitor, sim clock)."""
     logger.debug("running scheme %s on %s (%d requests)",
                  scheme, model.name, trace.n_requests)
     policy = make_policy(scheme, model, profiles, slo.target_seconds, trace)
     run = ServerlessRun(
-        model, trace, policy, profiles, slo, config, sim=sim, tracer=tracer
+        model, trace, policy, profiles, slo, config, sim=sim, tracer=tracer,
+        selfprof=selfprof,
     )
     return run.execute(), run
 
@@ -374,6 +443,19 @@ def _cmd_run(args) -> int:
     tracer = Tracer() if tracing else None
     profiler = EngineProfiler() if args.profile_engine else None
     sim = Simulator(profiler=profiler) if profiler is not None else None
+    selfprof = None
+    if args.self_profile or args.profile_out:
+        selfprof = RunProfiler(
+            # Engine callback-site frames clash with a flat
+            # EngineProfiler already installed on the simulator, so
+            # keep whichever the user asked for first.
+            engine_sites=not args.profile_engine,
+            meta={
+                "model": args.model, "scheme": args.scheme,
+                "trace": args.trace, "duration": args.duration,
+                "seed": args.seed,
+            },
+        )
     config = None
     if args.chaos or args.recovery or tracing:
         try:
@@ -404,8 +486,10 @@ def _cmd_run(args) -> int:
         tracer.timeseries_observers.append(dashboard.on_sample)
     result, run = _run_one(
         args.scheme, model, trace, profiles, slo, config,
-        sim=sim, tracer=tracer,
+        sim=sim, tracer=tracer, selfprof=selfprof,
     )
+    if selfprof is not None:
+        selfprof.finish()
     if dashboard is not None:
         dashboard.finish(run.sim.now)
         emit("")
@@ -464,14 +548,24 @@ def _cmd_run(args) -> int:
                 f"({run.sampler.n_samples} samples) to {args.timeseries_out}"
             )
         if args.ledger:
+            top = selfprof.top_phases(1) if selfprof is not None else []
             with RunLedger(args.ledger) as ledger:
                 run_id = ledger.record(
-                    result, trace=args.trace, seed=args.seed
+                    result, trace=args.trace, seed=args.seed,
+                    top_phase=top[0][0] if top else None,
+                    top_phase_share=top[0][1] if top else 0.0,
                 )
             emit(f"recorded run #{run_id} in {args.ledger}")
     if profiler is not None:
         emit("")
         emit(profiler.rendered())
+    if selfprof is not None:
+        if args.self_profile:
+            emit("")
+            emit(selfprof.rendered())
+        if args.profile_out:
+            selfprof.save(args.profile_out)
+            emit(f"wrote self-profile JSON to {args.profile_out}")
     return 0
 
 
@@ -531,6 +625,78 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    if args.diff:
+        baseline_path, candidate_path = args.diff
+        try:
+            baseline = load_profile(baseline_path)
+            candidate = load_profile(candidate_path)
+        except FileNotFoundError as exc:
+            logger.error("profile not found: %s", exc)
+            return 1
+        except ValueError as exc:
+            logger.error("not a valid self-profile: %s", exc)
+            return 1
+        emit(render_profile_diff(baseline, candidate, top=args.top))
+        return 0
+    import json
+
+    model = get_model(args.model)
+    profiles = ProfileService()
+    slo = SLO()
+    trace = _TRACES[args.trace](model, args.duration, args.seed)
+    prof = RunProfiler(
+        track_alloc=args.alloc,
+        meta={
+            "model": args.model, "scheme": args.scheme,
+            "trace": args.trace, "duration": args.duration,
+            "seed": args.seed,
+        },
+    )
+    result, _run = _run_one(
+        args.scheme, model, trace, profiles, slo, selfprof=prof
+    )
+    prof.finish()
+    emit(prof.rendered(top=args.top))
+    emit("")
+    attributed = prof.total_seconds
+    wall = result.wall_seconds
+    shares = sorted(
+        prof.subsystem_shares().items(), key=lambda kv: kv[1], reverse=True
+    )
+    kv = {
+        "wall clock": f"{wall:.3f} s",
+        "attributed": (
+            f"{attributed:.3f} s"
+            + (f" ({100 * attributed / wall:.1f}% of wall)" if wall else "")
+        ),
+        "top subsystems": ", ".join(
+            f"{name} {100 * share:.1f}%" for name, share in shares[:3]
+        ),
+    }
+    emit(render_kv(kv, title="attribution"))
+    if args.json_out:
+        prof.save(args.json_out)
+        emit(f"wrote self-profile JSON to {args.json_out}")
+    if args.speedscope_out:
+        scope_name = f"{args.scheme}/{args.model}/{args.trace}"
+        with open(args.speedscope_out, "w", encoding="utf-8") as fh:
+            json.dump(prof.to_speedscope(scope_name), fh, indent=1)
+            fh.write("\n")
+        emit(
+            f"wrote speedscope profile to {args.speedscope_out} "
+            "(open at https://www.speedscope.app)"
+        )
+    if args.collapsed_out:
+        with open(args.collapsed_out, "w", encoding="utf-8") as fh:
+            fh.write(prof.to_collapsed())
+        emit(
+            f"wrote collapsed stacks to {args.collapsed_out} "
+            "(render with flamegraph.pl)"
+        )
+    return 0
+
+
 def _cmd_trace_report(args) -> int:
     try:
         report = render_trace_report(
@@ -580,7 +746,7 @@ def _cmd_runs(args) -> int:
             emit(
                 render_table(
                     ["id", "recorded", "sha", "scheme", "model", "trace",
-                     "seed", "slo_%", "p99_ms", "cost_$"],
+                     "seed", "slo_%", "p99_ms", "cost_$", "wall_s"],
                     render_run_rows(records),
                     title=f"run ledger ({args.ledger})",
                 )
@@ -609,6 +775,12 @@ def _cmd_runs(args) -> int:
                 "cold starts": r.cold_starts,
                 "switches": r.n_switches,
             }
+            if r.wall_seconds:
+                kv["wall clock"] = f"{r.wall_seconds:.2f} s"
+            if r.top_phase:
+                kv["top phase"] = (
+                    f"{r.top_phase} ({100 * r.top_phase_share:.1f}%)"
+                )
             if r.cache_hits or r.cache_misses:
                 kv["cache"] = f"{r.cache_hits} hits, {r.cache_misses} misses"
             emit(render_kv(kv, title=f"run #{r.run_id}"))
@@ -687,6 +859,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "profile": _cmd_profile,
         "trace-report": _cmd_trace_report,
         "timeseries-report": _cmd_timeseries_report,
         "runs": _cmd_runs,

@@ -39,9 +39,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.selfprof import RunProfiler
 
 __all__ = [
     "BreakerPolicy",
@@ -254,9 +257,13 @@ class ResilienceController:
         config: ResilienceConfig,
         *,
         tracer: Tracer = NULL_TRACER,
+        selfprof: Optional["RunProfiler"] = None,
     ) -> None:
         self.config = config
         self.tracer = tracer
+        #: Self-profiler for retry planning; ``None`` keeps plan_retry on
+        #: a bare `is None` branch.
+        self.selfprof = selfprof
         self._rng = random.Random(config.seed)
         self._breakers: dict[str, CircuitBreaker] = {}
         # Counters (mirrored into the metrics registry by the framework).
@@ -371,18 +378,26 @@ class ResilienceController:
         The returned ``backoff`` feeds the next call's ``prev_backoff``.
         """
         p = self.config.retry
+        prof = self.selfprof
+        if prof is not None:
+            prof.push("resilience.plan_retry")
+        out: Optional[tuple[float, float]] = None
         if attempt >= p.max_attempts:
             self.retries_abandoned += 1
-            return None
-        backoff = self.next_backoff(prev_backoff)
-        remaining = deadline - now
-        if backoff >= remaining:
-            # Even the earliest admissible retry lands past the deadline:
-            # dispatching it would burn capacity on a guaranteed miss.
-            self.retries_abandoned += 1
-            return None
-        self.retries_scheduled += 1
-        return backoff, backoff
+        else:
+            backoff = self.next_backoff(prev_backoff)
+            remaining = deadline - now
+            if backoff >= remaining:
+                # Even the earliest admissible retry lands past the
+                # deadline: dispatching it would burn capacity on a
+                # guaranteed miss.
+                self.retries_abandoned += 1
+            else:
+                self.retries_scheduled += 1
+                out = (backoff, backoff)
+        if prof is not None:
+            prof.pop()
+        return out
 
     def shed(self, n: int = 1) -> None:
         self.requests_shed += n

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
@@ -50,6 +51,7 @@ from repro.simulator.failures import FailureInjector, FailureSchedule
 from repro.simulator.job import Job
 from repro.simulator.metrics import MetricsCollector
 from repro.simulator.power import cluster_energy_joules, node_energy_joules
+from repro.telemetry.selfprof import RunProfiler
 from repro.telemetry.slo_monitor import SLOMonitor
 from repro.telemetry.timeseries import StateSampler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
@@ -165,6 +167,10 @@ class RunResult:
     hardware_usage: dict[str, int]
     n_switches: int
     cold_starts: int
+    #: Measured host wall-clock of execute() (setup + engine + finalize);
+    #: 0.0 for the arm()/finalize() split entry points, whose engine time
+    #: belongs to the shared-clock caller.
+    wall_seconds: float = 0.0
     #: Resilience-layer counters (all zero when no policy is configured).
     retries_scheduled: int = 0
     retries_abandoned: int = 0
@@ -199,6 +205,15 @@ class ServerlessRun:
         Telemetry sink (keyword-only).  Defaults to the shared disabled
         tracer: no spans, no decision events, no sampler events — the run
         is bit-identical to an untraced one.
+    selfprof:
+        Optional :class:`~repro.telemetry.selfprof.RunProfiler`
+        (keyword-only).  When attached, the run records a hierarchical
+        phase tree of its *own* wall-clock (selection, batching, GPU
+        interference math, autoscaler ticks, telemetry overhead) and —
+        unless a dispatch profiler already owns the engine — engine
+        callback sites become frames inside that tree.  ``None`` (the
+        default) keeps every instrumented site a single ``is None``
+        branch; results are bit-identical either way.
     """
 
     def __init__(
@@ -213,6 +228,7 @@ class ServerlessRun:
         sim: Optional[Simulator] = None,
         cluster: Optional[Cluster] = None,
         tracer: Optional[Tracer] = None,
+        selfprof: Optional[RunProfiler] = None,
     ) -> None:
         self.model = model
         self.trace = trace
@@ -221,6 +237,7 @@ class ServerlessRun:
         self.slo = slo if slo is not None else SLO()
         self.config = config if config is not None else RunConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.selfprof = selfprof
 
         # A multi-model deployment (see MultiModelRun) passes a shared
         # simulator and cluster so every function's lane lives on one
@@ -233,6 +250,10 @@ class ServerlessRun:
             seed=self.config.seed,
             tracer=self.tracer,
         )
+        if selfprof is not None:
+            # Phase attribution for component internals (GPU completion
+            # math, interference law, autoscaler sub-phases, retries).
+            self.cluster.selfprof = selfprof
         self.metrics = MetricsCollector()
         self.tracker = RateTracker(self.config.monitor_interval_seconds)
         self.policy.bind_tracer(self.tracer)
@@ -244,6 +265,7 @@ class ServerlessRun:
             keep_alive_seconds=self.config.keep_alive_seconds,
             interval_seconds=self.config.autoscale_interval_seconds,
             tracer=self.tracer,
+            selfprof=selfprof,
         )
 
         self._current: Optional[NodeInstance] = None
@@ -261,7 +283,9 @@ class ServerlessRun:
         self._failure_injector: Optional[FailureInjector] = None
         cfg = self.config
         self.resilience: Optional[ResilienceController] = (
-            ResilienceController(cfg.resilience, tracer=self.tracer)
+            ResilienceController(
+                cfg.resilience, tracer=self.tracer, selfprof=selfprof
+            )
             if cfg.resilience is not None
             else None
         )
@@ -301,10 +325,27 @@ class ServerlessRun:
         if self._executed:
             raise RuntimeError("a ServerlessRun can only execute once")
         self._executed = True
-        self._setup()
         horizon = self.trace.duration + self.config.drain_grace_seconds
-        self.sim.run(until=horizon)
-        return self._finalize()
+        prof = self.selfprof
+        wall_t0 = perf_counter()
+        if prof is None:
+            self._setup()
+            self.sim.run(until=horizon)
+            result = self._finalize()
+        else:
+            with prof.phase("run"):
+                with prof.phase("setup"):
+                    self._setup()
+                if prof.engine_sites and self.sim._profiler is None:
+                    # Callback sites become frames inside the tree; a
+                    # pre-attached dispatch profiler keeps the engine.
+                    self.sim.set_profiler(prof)
+                with prof.phase("engine"):
+                    self.sim.run(until=horizon)
+                with prof.phase("finalize"):
+                    result = self._finalize()
+        result.wall_seconds = perf_counter() - wall_t0
+        return result
 
     # Split entry points for shared-simulator (multi-model) deployments:
     # arm() schedules everything, finalize() summarises after the caller
@@ -645,6 +686,7 @@ class ServerlessRun:
             lambda: CACHE_METRICS.counter("experiment_cache.misses").value,
         )
 
+        sampler.selfprof = self.selfprof
         sampler.start(
             self.sim,
             self.trace.duration + cfg.drain_grace_seconds,
@@ -655,9 +697,18 @@ class ServerlessRun:
 
     def _telemetry_tick(self) -> None:
         now = self.sim.now
+        prof = self.selfprof
+        if prof is not None:
+            prof.push("telemetry.metrics")
         self.tracer.metrics.sample(now)
+        if prof is not None:
+            prof.pop()
         if self.slo_monitor is not None:
+            if prof is not None:
+                prof.push("telemetry.monitor")
             self.slo_monitor.sample(now)
+            if prof is not None:
+                prof.pop()
         if now < self.trace.duration + self.config.drain_grace_seconds:
             self.sim.schedule(
                 self.config.telemetry_sample_interval_seconds,
@@ -669,12 +720,18 @@ class ServerlessRun:
     # Dispatch path
     # ------------------------------------------------------------------
     def _on_window(self, window: DispatchWindow) -> None:
+        # Disabled-profiler contract: bare `is None` branches, no calls.
+        prof = self.selfprof
+        if prof is not None:
+            prof.push("arrivals.window")
         self.metrics.record_offered(window.n)
         self.tracker.count(window.n)
         if self._current is None or not self._current.available:
             self._pending_windows.append(window)
-            return
-        self._dispatch(window, self._current)
+        else:
+            self._dispatch(window, self._current)
+        if prof is not None:
+            prof.pop()
 
     def _existing_fbr(self, node: NodeInstance) -> float:
         device = node.device
@@ -721,6 +778,9 @@ class ServerlessRun:
             self._chaos is not None and self._chaos.mps_down
         ) or (degraded and self.config.resilience.degrade_force_temporal)
         cap = self.config.resilience.degraded_batch_cap if degraded else None
+        prof = self.selfprof
+        if prof is not None:
+            prof.push("batch.plan")
         plan = self.policy.plan_window(
             window.n,
             node.spec,
@@ -728,6 +788,8 @@ class ServerlessRun:
             now,
             existing_queue=node.device.queued_requests(),
         )
+        if prof is not None:
+            prof.pop()
         pool = node.pool(self.model.name)
         # Reactive scale-up: one container per spatial batch (+1 temporal).
         self.autoscaler.reactive(
@@ -863,6 +925,9 @@ class ServerlessRun:
                 if self._reconfig_target is not None
                 else self._current.spec
             )
+            prof = self.selfprof
+            if prof is not None:
+                prof.push("select.choose_best_HW")
             desired = self.policy.desired_hardware(
                 now,
                 reference,
@@ -870,6 +935,8 @@ class ServerlessRun:
                 backlog_requests=self._backlog(self._current),
                 is_available=self._is_available,
             )
+            if prof is not None:
+                prof.pop()
             if desired is not None and desired.name != reference.name:
                 # Failure coping (Fig 13b): while an induced outage is
                 # active, every scheme is modified to hold "the more

@@ -63,13 +63,17 @@ class NodeInstance:
         spec: HardwareSpec,
         interference: InterferenceModel,
         rng: np.random.Generator,
+        *,
+        selfprof=None,
     ) -> None:
         self.sim = sim
         self.spec = spec
         NodeInstance._ids += 1
         self.node_id = NodeInstance._ids
         if spec.is_gpu:
-            self.device: Device = GPUDevice(sim, spec, interference, rng)
+            self.device: Device = GPUDevice(
+                sim, spec, interference, rng, selfprof=selfprof
+            )
         else:
             self.device = CPUDevice(sim, spec, rng)
         self._pools: dict[str, ContainerPool] = {}
@@ -155,6 +159,12 @@ class Cluster:
         #: (possibly inflated) spawn delay; propagated to every node
         #: acquired after it is set (see ChaosEngine.cold_start_delay).
         self.spawn_delay_fn: Optional[Callable[[float], float]] = None
+        #: Optional :class:`~repro.telemetry.selfprof.RunProfiler`
+        #: propagated to every subsequently acquired node's device so GPU
+        #: submit/completion internals and interference math show up as
+        #: phase-tree frames; ``None`` (the default) leaves devices
+        #: entirely uninstrumented.
+        self.selfprof = None
 
     # ------------------------------------------------------------------
     # Acquisition / release
@@ -177,6 +187,7 @@ class Cluster:
             spec,
             self.interference,
             np.random.default_rng(self._root_rng.integers(2**63)),
+            selfprof=self.selfprof,
         )
         node.spawn_delay_fn = self.spawn_delay_fn
         self.nodes.append(node)

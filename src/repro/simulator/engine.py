@@ -58,7 +58,13 @@ class DispatchProfiler(Protocol):
     """What the engine needs from a profiler (see
     :class:`repro.telemetry.profiling.EngineProfiler`).  The engine only
     duck-types this so the hot loop stays import-free of the telemetry
-    package."""
+    package.
+
+    A profiler may additionally expose ``push_site(fn)`` / ``pop()``
+    (see :class:`repro.telemetry.selfprof.RunProfiler`): the engine then
+    brackets each dispatch hierarchically — entered *before* the
+    callback runs, so phases recorded inside it nest under the site
+    frame — instead of the flat post-hoc ``record`` accounting."""
 
     def record(self, fn: Callable[[], None], seconds: float) -> None:
         ...  # pragma: no cover - protocol stub
@@ -308,9 +314,15 @@ class Simulator:
             if prof is None:
                 fn()
             else:
-                t0 = perf_counter()
-                fn()
-                prof.record(fn, perf_counter() - t0)
+                push_site = getattr(prof, "push_site", None)
+                if push_site is not None:
+                    push_site(fn)
+                    fn()
+                    prof.pop()
+                else:
+                    t0 = perf_counter()
+                    fn()
+                    prof.record(fn, perf_counter() - t0)
             return True
         return False
 
@@ -348,6 +360,25 @@ class Simulator:
                     self._now = entry[0]
                     n += 1
                     fn()
+            elif (push_site := getattr(prof, "push_site", None)) is not None:
+                # Hierarchical profiler: the site frame is entered before
+                # the callback so phases recorded inside it nest under
+                # it; the profiler does its own timing on push/pop.
+                prof_pop = prof.pop
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    fn = entry[3]
+                    if fn is None:
+                        pop(heap)
+                        continue
+                    if entry[0] > limit:
+                        break
+                    pop(heap)
+                    self._now = entry[0]
+                    n += 1
+                    push_site(fn)
+                    fn()
+                    prof_pop()
             else:
                 while heap and not self._stopped:
                     entry = heap[0]

@@ -21,6 +21,9 @@ request's latency actually went.  This package records the path taken:
   of the registry and the monitor windows.
 * :class:`~repro.telemetry.profiling.EngineProfiler` — per-callback-site
   wall-clock profiling of the discrete-event hot loop.
+* :class:`~repro.telemetry.selfprof.RunProfiler` — hierarchical
+  wall-clock attribution of the reproduction itself (phase tree with
+  flamegraph/speedscope export, see ``docs/PERFORMANCE.md``).
 
 Everything is **zero-overhead when disabled**: the shared
 :data:`NULL_TRACER` singleton short-circuits on a single attribute check,
@@ -42,6 +45,12 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
 )
 from repro.telemetry.profiling import EngineProfiler
+from repro.telemetry.selfprof import (
+    RunProfiler,
+    diff_profiles,
+    load_profile,
+    render_profile_diff,
+)
 from repro.telemetry.prometheus import to_prometheus_text, write_prometheus
 from repro.telemetry.slo_monitor import SLOMonitor, WindowStats
 from repro.telemetry.timeseries import (
@@ -71,6 +80,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "RunLedger",
+    "RunProfiler",
     "RunRecord",
     "SLOMonitor",
     "SpanRecord",
@@ -80,8 +90,11 @@ __all__ = [
     "TraceEventRecord",
     "Tracer",
     "WindowStats",
+    "diff_profiles",
+    "load_profile",
     "read_jsonl",
     "read_timeseries",
+    "render_profile_diff",
     "summary_counts",
     "to_chrome_trace",
     "to_jsonl_lines",

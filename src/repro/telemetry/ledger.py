@@ -11,6 +11,9 @@ regression workflow (``docs/PERFORMANCE.md``) keys off.
 The store is a single SQLite file (stdlib ``sqlite3``, no server, safe
 for concurrent readers).  Schema changes bump ``SCHEMA_VERSION``; the
 ledger refuses files written by a newer schema rather than guessing.
+Older files are migrated in place on open (``ALTER TABLE ... ADD
+COLUMN`` with defaults), so a v1 ledger keeps working under v2 — its
+pre-migration rows simply carry zero wall-clock.
 """
 
 from __future__ import annotations
@@ -37,7 +40,15 @@ __all__ = [
 #: Default on-disk location (gitignored, like the result cache).
 DEFAULT_LEDGER_PATH = ".repro-ledger.sqlite"
 
-SCHEMA_VERSION = 1
+#: v2 added wall_seconds / top_phase / top_phase_share (self-profiling).
+SCHEMA_VERSION = 2
+
+#: Columns added since v1, applied to older files on open.
+_MIGRATIONS = (
+    "wall_seconds REAL NOT NULL DEFAULT 0",
+    "top_phase TEXT",
+    "top_phase_share REAL NOT NULL DEFAULT 0",
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS ledger_meta (
@@ -65,7 +76,10 @@ CREATE TABLE IF NOT EXISTS runs (
     n_switches      INTEGER NOT NULL,
     cache_hits      INTEGER NOT NULL DEFAULT 0,
     cache_misses    INTEGER NOT NULL DEFAULT 0,
-    extra_json      TEXT NOT NULL DEFAULT '{}'
+    extra_json      TEXT NOT NULL DEFAULT '{}',
+    wall_seconds    REAL NOT NULL DEFAULT 0,
+    top_phase       TEXT,
+    top_phase_share REAL NOT NULL DEFAULT 0
 );
 """
 
@@ -108,6 +122,11 @@ class RunRecord:
     cache_hits: int = 0
     cache_misses: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
+    #: Host wall-clock of the run (0.0 for rows recorded before v2 or
+    #: without measurement) and its hottest self-profile phase.
+    wall_seconds: float = 0.0
+    top_phase: Optional[str] = None
+    top_phase_share: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -191,6 +210,25 @@ class RunLedger:
                     f"{path} was written by ledger schema {row['value']}; "
                     f"this build understands <= {SCHEMA_VERSION}"
                 )
+            elif int(row["value"]) < SCHEMA_VERSION:
+                # Migrate an older file in place: add the missing columns
+                # with defaults (existing rows read as zero/NULL) and
+                # stamp the new version.  CREATE TABLE IF NOT EXISTS
+                # above was a no-op for it, so the DDL never conflicts.
+                have = {
+                    r["name"]
+                    for r in self._conn.execute("PRAGMA table_info(runs)")
+                }
+                for ddl in _MIGRATIONS:
+                    if ddl.split()[0] not in have:
+                        self._conn.execute(
+                            f"ALTER TABLE runs ADD COLUMN {ddl}"
+                        )
+                self._conn.execute(
+                    "UPDATE ledger_meta SET value = ? "
+                    "WHERE key = 'schema_version'",
+                    (str(SCHEMA_VERSION),),
+                )
 
     def close(self) -> None:
         self._conn.close()
@@ -214,8 +252,16 @@ class RunLedger:
         cache_hits: int = 0,
         cache_misses: int = 0,
         extra: Optional[dict[str, Any]] = None,
+        top_phase: Optional[str] = None,
+        top_phase_share: float = 0.0,
     ) -> int:
-        """Persist one run's summary; returns the new row id."""
+        """Persist one run's summary; returns the new row id.
+
+        ``wall_seconds`` is read off the result; the hottest self-profile
+        phase (``top_phase``/``top_phase_share``) is passed explicitly by
+        callers that ran under a :class:`~repro.telemetry.selfprof.
+        RunProfiler`.
+        """
         offered = result.offered_requests
         violations = offered - round(result.slo_compliance * offered)
         created = _dt.datetime.now(_dt.timezone.utc).isoformat(
@@ -229,9 +275,10 @@ class RunLedger:
                     duration, slo_seconds, offered, completed,
                     slo_compliance, violation_rate, p50_seconds,
                     p99_seconds, total_cost, cold_starts, n_switches,
-                    cache_hits, cache_misses, extra_json
+                    cache_hits, cache_misses, extra_json,
+                    wall_seconds, top_phase, top_phase_share
                 ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
-                          ?, ?, ?, ?)
+                          ?, ?, ?, ?, ?, ?, ?)
                 """,
                 (
                     created,
@@ -254,6 +301,9 @@ class RunLedger:
                     int(cache_hits),
                     int(cache_misses),
                     json.dumps(extra or {}),
+                    float(getattr(result, "wall_seconds", 0.0)),
+                    top_phase,
+                    float(top_phase_share),
                 ),
             )
         return int(cur.lastrowid)
@@ -285,6 +335,9 @@ class RunLedger:
             cache_hits=row["cache_hits"],
             cache_misses=row["cache_misses"],
             extra=json.loads(row["extra_json"]),
+            wall_seconds=row["wall_seconds"] or 0.0,
+            top_phase=row["top_phase"],
+            top_phase_share=row["top_phase_share"] or 0.0,
         )
 
     def list_runs(self, limit: Optional[int] = None) -> list[RunRecord]:
@@ -363,6 +416,24 @@ class RunLedger:
             scalar("n_switches", float(base.n_switches),
                    float(cand.n_switches)),
         ]
+        if base.wall_seconds > 0 and cand.wall_seconds > 0:
+            # Host wall-clock is noisy between runs (shared machines, CPU
+            # frequency scaling), so it gets a wider floor than the
+            # simulated metrics: at least 25% relative worsening before
+            # it is flagged.
+            wall_tol = max(rel_tolerance, 0.25)
+            worse = cand.wall_seconds - base.wall_seconds
+            span = base.wall_seconds * wall_tol
+            deltas.append(
+                MetricDelta(
+                    name="wall_seconds",
+                    baseline=base.wall_seconds,
+                    candidate=cand.wall_seconds,
+                    higher_is_worse=True,
+                    regressed=worse > span,
+                    improved=worse < -span,
+                )
+            )
         comparable = (
             base.scheme == cand.scheme
             and base.model == cand.model
@@ -392,6 +463,7 @@ def render_run_rows(records: list[RunRecord]) -> list[list[Any]]:
             round(100 * r.slo_compliance, 2),
             round(r.p99_seconds * 1e3, 1),
             round(r.total_cost, 4),
+            round(r.wall_seconds, 2) if r.wall_seconds else "-",
         ]
         for r in records
     ]

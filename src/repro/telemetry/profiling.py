@@ -70,9 +70,15 @@ class EngineProfiler:
         }
 
     def rendered(self, top: int = 20) -> str:
-        """Aligned text table of the hottest callback sites."""
+        """Aligned text table of the hottest callback sites.
+
+        With no recorded sites (the profiler was attached but the run
+        dispatched nothing) a one-line message replaces the empty table.
+        """
         from repro.analysis.report import render_table  # avoid import cycle
 
+        if not self.sites:
+            return "engine profile: no events dispatched"
         rows = [
             [site, count, round(ms, 3), round(us, 2)]
             for site, count, ms, us in self.rows()[:top]

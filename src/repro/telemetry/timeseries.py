@@ -124,6 +124,10 @@ class StateSampler:
         #: Called as ``observer(now, row)`` after every sample — the live
         #: dashboard's hook point.
         self.observers: list[Callable[[float, dict[str, float]], None]] = []
+        #: Optional :class:`~repro.telemetry.selfprof.RunProfiler` — when
+        #: set, each sample brackets itself as a ``telemetry.sampler``
+        #: frame so the sampler's own cost shows up in the phase tree.
+        self.selfprof = None
 
     # ------------------------------------------------------------------
     # Probe registration
@@ -192,6 +196,9 @@ class StateSampler:
     # ------------------------------------------------------------------
     def sample(self, now: float) -> dict[str, float]:
         """Take one sample row at simulated time ``now``."""
+        prof = self.selfprof
+        if prof is not None:
+            prof.push("telemetry.sampler")
         self._ensure_buffers()
         idx = self._n % self._capacity
         self._times[idx] = now
@@ -212,6 +219,8 @@ class StateSampler:
         self._n += 1
         for observer in self.observers:
             observer(now, row)
+        if prof is not None:
+            prof.pop()
         return row
 
     # ------------------------------------------------------------------

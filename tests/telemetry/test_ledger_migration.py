@@ -1,0 +1,147 @@
+"""Schema-migration tests: v1 ledger files keep working under v2.
+
+The v1 ``runs`` table (pre self-profiling) lacked ``wall_seconds``,
+``top_phase``, and ``top_phase_share``.  Opening such a file must
+migrate it in place (ALTER TABLE with defaults) rather than crash —
+including through the ``runs list|show|compare`` CLI paths.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.ledger import SCHEMA_VERSION, RunLedger
+
+from tests.telemetry.test_ledger import make_result
+
+#: The runs table exactly as schema v1 created it.
+_V1_SCHEMA = """
+CREATE TABLE ledger_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE runs (
+    id              INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_utc     TEXT NOT NULL,
+    git_sha         TEXT,
+    scheme          TEXT NOT NULL,
+    model           TEXT NOT NULL,
+    trace           TEXT NOT NULL,
+    seed            INTEGER NOT NULL,
+    duration        REAL NOT NULL,
+    slo_seconds     REAL NOT NULL,
+    offered         INTEGER NOT NULL,
+    completed       INTEGER NOT NULL,
+    slo_compliance  REAL NOT NULL,
+    violation_rate  REAL NOT NULL,
+    p50_seconds     REAL NOT NULL,
+    p99_seconds     REAL NOT NULL,
+    total_cost      REAL NOT NULL,
+    cold_starts     INTEGER NOT NULL,
+    n_switches      INTEGER NOT NULL,
+    cache_hits      INTEGER NOT NULL DEFAULT 0,
+    cache_misses    INTEGER NOT NULL DEFAULT 0,
+    extra_json      TEXT NOT NULL DEFAULT '{}'
+);
+INSERT INTO ledger_meta (key, value) VALUES ('schema_version', '1');
+"""
+
+_V1_ROW = """
+INSERT INTO runs (
+    created_utc, git_sha, scheme, model, trace, seed, duration,
+    slo_seconds, offered, completed, slo_compliance, violation_rate,
+    p50_seconds, p99_seconds, total_cost, cold_starts, n_switches
+) VALUES (
+    '2026-01-01T00:00:00+00:00', 'cafe123', 'paldia', 'resnet50',
+    'azure', 0, 300.0, 0.5, 1000, 990, 0.98, 0.02,
+    0.08, 0.2, 0.05, 12, 3
+);
+"""
+
+
+@pytest.fixture()
+def v1_path(tmp_path):
+    """A genuine pre-migration ledger file with one recorded run."""
+    path = str(tmp_path / "v1-ledger.sqlite")
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.executescript(_V1_SCHEMA)
+        conn.executescript(_V1_ROW)
+        conn.executescript(_V1_ROW)
+    conn.close()
+    return path
+
+
+class TestMigration:
+    def test_open_migrates_in_place(self, v1_path):
+        with RunLedger(v1_path) as ledger:
+            assert len(ledger) == 2
+            r = ledger.get(1)
+            assert r.scheme == "paldia"
+            assert r.wall_seconds == 0.0
+            assert r.top_phase is None
+            assert r.top_phase_share == 0.0
+        # The file is stamped v2: reopening skips the migration branch.
+        conn = sqlite3.connect(v1_path)
+        (version,) = conn.execute(
+            "SELECT value FROM ledger_meta WHERE key = 'schema_version'"
+        ).fetchone()
+        conn.close()
+        assert int(version) == SCHEMA_VERSION
+
+    def test_migrated_file_accepts_v2_rows(self, v1_path):
+        with RunLedger(v1_path) as ledger:
+            run_id = ledger.record(
+                make_result(wall_seconds=1.25),
+                trace="azure", seed=0,
+                top_phase="batch.plan", top_phase_share=0.31,
+            )
+            r = ledger.get(run_id)
+        assert r.wall_seconds == pytest.approx(1.25)
+        assert r.top_phase == "batch.plan"
+        assert r.top_phase_share == pytest.approx(0.31)
+
+    def test_compare_skips_wall_clock_for_v1_rows(self, v1_path):
+        # Pre-migration rows carry wall_seconds=0, so the wall-clock
+        # delta (which needs both sides measured) must stay out.
+        with RunLedger(v1_path) as ledger:
+            cmp = ledger.compare(1, 2)
+        assert "wall_seconds" not in {d.name for d in cmp.deltas}
+        assert not cmp.regressed
+
+    def test_compare_includes_wall_clock_when_measured(self, tmp_path):
+        path = str(tmp_path / "ledger.sqlite")
+        with RunLedger(path) as ledger:
+            ledger.record(make_result(wall_seconds=1.0), trace="azure",
+                          seed=0)
+            ledger.record(make_result(wall_seconds=1.1), trace="azure",
+                          seed=0)
+            ledger.record(make_result(wall_seconds=2.0), trace="azure",
+                          seed=0)
+            mild = ledger.compare(1, 2)
+            severe = ledger.compare(1, 3)
+        wall = next(d for d in mild.deltas if d.name == "wall_seconds")
+        # +10% is inside the widened 25% noise floor for host wall-clock.
+        assert not wall.regressed
+        wall = next(d for d in severe.deltas if d.name == "wall_seconds")
+        assert wall.regressed
+
+
+class TestCliOnMigratedLedger:
+    def test_runs_list_show_compare(self, v1_path, capsys):
+        assert main(["runs", "list", "--ledger", v1_path]) == 0
+        out = capsys.readouterr().out
+        assert "wall_s" in out
+        assert " - " in out  # unmeasured wall-clock renders as "-"
+
+        assert main(["runs", "show", "1", "--ledger", v1_path]) == 0
+        out = capsys.readouterr().out
+        assert "paldia" in out
+        assert "wall clock" not in out  # nothing measured, nothing shown
+
+        assert main(
+            ["runs", "compare", "1", "2", "--ledger", v1_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verdict: no regressions" in out

@@ -1,0 +1,439 @@
+"""Tests for the hierarchical self-profiler (RunProfiler)."""
+
+import json
+
+import pytest
+
+import repro.telemetry.selfprof as selfprof_mod
+from repro.experiments.schemes import make_policy
+from repro.framework.slo import SLO
+from repro.framework.system import ServerlessRun
+from repro.hardware.profiles import ProfileService
+from repro.simulator.engine import Simulator
+from repro.telemetry.selfprof import (
+    SELFPROF_SCHEMA,
+    SUBSYSTEMS,
+    RunProfiler,
+    diff_profiles,
+    load_profile,
+    render_profile_diff,
+    subsystem_of,
+)
+from repro.workloads.models import get_model
+from repro.workloads.traces import poisson_trace
+
+
+class FakeClock:
+    """Deterministic stand-in for ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture()
+def clock(monkeypatch):
+    fake = FakeClock()
+    monkeypatch.setattr(selfprof_mod, "perf_counter", fake)
+    return fake
+
+
+def frame(prof, *path):
+    node = prof.root
+    for name in path:
+        node = node.children[name]
+    return node
+
+
+class TestRecording:
+    def test_nesting_and_exclusive_math(self, clock):
+        prof = RunProfiler()
+        prof.push("outer")
+        clock.advance(1.0)
+        prof.push("inner")
+        clock.advance(3.0)
+        prof.pop()
+        clock.advance(2.0)
+        prof.pop()
+        outer = frame(prof, "outer")
+        inner = frame(prof, "outer", "inner")
+        assert outer.seconds == pytest.approx(6.0)
+        assert inner.seconds == pytest.approx(3.0)
+        assert outer.exclusive() == pytest.approx(3.0)
+        assert inner.exclusive() == pytest.approx(3.0)
+        assert (outer.count, inner.count) == (1, 1)
+
+    def test_repeat_entries_aggregate_in_one_frame(self, clock):
+        prof = RunProfiler()
+        for _ in range(5):
+            prof.push("tick")
+            clock.advance(0.5)
+            prof.pop()
+        tick = frame(prof, "tick")
+        assert tick.count == 5
+        assert tick.seconds == pytest.approx(2.5)
+        assert len(prof.root.children) == 1
+
+    def test_phase_context_manager_is_cached(self, clock):
+        prof = RunProfiler()
+        ctx_a = prof.phase("setup")
+        ctx_b = prof.phase("setup")
+        assert ctx_a is ctx_b
+        with prof.phase("setup"):
+            clock.advance(1.0)
+        assert frame(prof, "setup").seconds == pytest.approx(1.0)
+
+    def test_pop_without_push_raises(self, clock):
+        prof = RunProfiler()
+        prof.push("a")
+        prof.pop()
+        with pytest.raises(RuntimeError, match="without a matching push"):
+            prof.pop()
+
+    def test_leaf_credits_without_entering(self, clock):
+        prof = RunProfiler()
+        prof.push("gpu.submit")
+        clock.advance(1.0)
+        prof.leaf("gpu.interference", 0.25)
+        prof.leaf("gpu.interference", 0.25)
+        prof.pop()
+        leaf = frame(prof, "gpu.submit", "gpu.interference")
+        assert leaf.count == 2
+        assert leaf.seconds == pytest.approx(0.5)
+        # Leaf time is a child, so the parent's exclusive time shrinks.
+        assert frame(prof, "gpu.submit").exclusive() == pytest.approx(0.5)
+
+    def test_telescoping_identity(self, clock):
+        prof = RunProfiler()
+        with prof.phase("run"):
+            clock.advance(0.1)
+            with prof.phase("a"):
+                clock.advance(0.2)
+                with prof.phase("b"):
+                    clock.advance(0.3)
+            with prof.phase("a"):
+                clock.advance(0.4)
+            prof.leaf("c", 0.05)
+        total_exclusive = sum(excl for *_rest, excl in prof.rows())
+        assert total_exclusive == pytest.approx(prof.total_seconds)
+        # leaf() time is carved out of the parent, not added to the
+        # clock, so the root total is exactly the elapsed wall time.
+        assert prof.total_seconds == pytest.approx(1.0)
+
+
+class TestEngineIntegration:
+    def test_push_site_names_and_nesting(self, clock):
+        prof = RunProfiler()
+
+        def callback():
+            with prof.phase("batch.plan"):
+                clock.advance(1.0)
+
+        prof.push_site(callback)
+        clock.advance(0.5)
+        prof.pop()
+        (name,) = prof.root.children
+        assert name.startswith("cb:")
+        assert "callback" in name
+        # The module prefix is present but its leading "repro." stripped.
+        assert not name.startswith("cb:repro.")
+
+    def test_simulator_dispatch_creates_site_frames(self, clock):
+        prof = RunProfiler()
+        sim = Simulator()
+        sim.set_profiler(prof)
+
+        def tick():
+            with prof.phase("select.choose_best_HW"):
+                pass
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        (site_name,) = prof.root.children
+        site = prof.root.children[site_name]
+        assert site.count == 1
+        # The phase entered during the callback nests under the site.
+        assert "select.choose_best_HW" in site.children
+
+    def test_record_fallback_is_flat(self, clock):
+        # Engines that predate push_site call record(fn, dt) post hoc.
+        prof = RunProfiler()
+
+        def cb():
+            pass
+
+        prof.record(cb, 0.5)
+        prof.record(cb, 0.5)
+        (name,) = prof.root.children
+        assert prof.root.children[name].seconds == pytest.approx(1.0)
+        assert prof.root.children[name].count == 2
+
+
+class TestSubsystems:
+    def test_subsystem_of_phases(self):
+        assert subsystem_of("arrivals.window") == "framework"
+        assert subsystem_of("select.choose_best_HW") == "core"
+        assert subsystem_of("batch.plan") == "core"
+        assert subsystem_of("autoscaler.reap") == "core"
+        assert subsystem_of("resilience.plan_retry") == "core"
+        assert subsystem_of("gpu.interference") == "simulator"
+        assert subsystem_of("telemetry.sampler") == "telemetry"
+        assert subsystem_of("engine") == "engine"
+        assert subsystem_of("run") == "harness"
+        assert subsystem_of("mystery.phase") == "other"
+
+    def test_subsystem_of_engine_sites(self):
+        assert subsystem_of("cb:framework.system.Run._tick") == "framework"
+        assert subsystem_of("cb:simulator.gpu.GPUDevice._x") == "simulator"
+        assert subsystem_of("cb:something.weird") == "other"
+
+    def test_shares_cover_all_buckets_and_sum_to_one(self, clock):
+        prof = RunProfiler()
+        with prof.phase("run"):
+            clock.advance(1.0)
+            with prof.phase("gpu.submit"):
+                clock.advance(3.0)
+        shares = prof.subsystem_shares()
+        assert set(shares) == set(SUBSYSTEMS)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["harness"] == pytest.approx(0.25)
+        assert shares["simulator"] == pytest.approx(0.75)
+
+    def test_shares_empty_profile(self):
+        shares = RunProfiler().subsystem_shares()
+        assert set(shares) == set(SUBSYSTEMS)
+        assert all(v == 0.0 for v in shares.values())
+
+    def test_top_phases_merges_across_positions(self, clock):
+        prof = RunProfiler()
+        with prof.phase("a"):
+            with prof.phase("hot"):
+                clock.advance(2.0)
+        with prof.phase("b"):
+            with prof.phase("hot"):
+                clock.advance(2.0)
+            clock.advance(1.0)
+        top = prof.top_phases(1)
+        assert top[0][0] == "hot"
+        assert top[0][1] == pytest.approx(4.0 / 5.0)
+        assert RunProfiler().top_phases() == []
+
+
+class TestExport:
+    def make_profile(self, clock):
+        prof = RunProfiler(meta={"scheme": "paldia"})
+        with prof.phase("run"):
+            clock.advance(0.5)
+            with prof.phase("engine"):
+                clock.advance(1.5)
+        return prof
+
+    def test_as_dict_save_load_roundtrip(self, clock, tmp_path):
+        prof = self.make_profile(clock)
+        path = str(tmp_path / "prof.json")
+        prof.save(path)
+        loaded = load_profile(path)
+        assert loaded["schema"] == SELFPROF_SCHEMA
+        assert loaded["meta"] == {"scheme": "paldia"}
+        assert loaded["total_seconds"] == pytest.approx(2.0)
+        root = loaded["root"]
+        assert root["name"] == "<run>"
+        (run_node,) = root["children"]
+        assert run_node["name"] == "run"
+        (engine_node,) = run_node["children"]
+        assert engine_node["seconds"] == pytest.approx(1.5)
+
+    def test_load_profile_rejects_wrong_schema(self, tmp_path):
+        path = str(tmp_path / "bogus.json")
+        with open(path, "w") as fh:
+            json.dump({"schema": "something/9"}, fh)
+        with pytest.raises(ValueError, match="not a repro.selfprof/1"):
+            load_profile(path)
+
+    def test_to_collapsed_format(self, clock):
+        prof = self.make_profile(clock)
+        lines = prof.to_collapsed().splitlines()
+        assert "run 500000" in lines
+        assert "run;engine 1500000" in lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+            assert stack
+
+    def test_to_speedscope_is_consistent(self, clock):
+        prof = self.make_profile(clock)
+        scope = prof.to_speedscope("unit test")
+        assert scope["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        (profile,) = scope["profiles"]
+        assert profile["type"] == "sampled"
+        assert profile["unit"] == "seconds"
+        n_frames = len(scope["shared"]["frames"])
+        assert len(profile["samples"]) == len(profile["weights"])
+        for stack in profile["samples"]:
+            assert all(0 <= i < n_frames for i in stack)
+        assert sum(profile["weights"]) == pytest.approx(
+            profile["endValue"]
+        )
+        assert sum(profile["weights"]) == pytest.approx(2.0)
+
+    def test_rendered_table(self, clock):
+        prof = self.make_profile(clock)
+        out = prof.rendered()
+        assert "self-profile: 2000.0 ms total" in out
+        assert "excl_%" in out
+        assert "  engine" in out  # indented child
+        assert RunProfiler().rendered() == (
+            "self-profile: no frames recorded"
+        )
+
+    def test_rendered_with_alloc_column(self, clock):
+        prof = RunProfiler(track_alloc=True)
+        with prof.phase("setup"):
+            clock.advance(1.0)
+        out = prof.rendered()
+        prof.finish()
+        assert "alloc_kb" in out
+
+
+class TestDiff:
+    def saved(self, clock, tmp_path, name, engine_s):
+        clock.t = 0.0
+        prof = RunProfiler()
+        with prof.phase("run"):
+            clock.advance(1.0)
+            with prof.phase("engine"):
+                clock.advance(engine_s)
+        path = str(tmp_path / name)
+        prof.save(path)
+        return load_profile(path)
+
+    def test_diff_profiles_deltas(self, clock, tmp_path):
+        a = self.saved(clock, tmp_path, "a.json", 2.0)
+        b = self.saved(clock, tmp_path, "b.json", 5.0)
+        entries = diff_profiles(a, b)
+        # Largest mover first: the engine frame grew by 3 s.
+        assert entries[0]["path"] == ("run", "engine")
+        assert entries[0]["delta_exclusive"] == pytest.approx(3.0)
+        run_entry = next(e for e in entries if e["path"] == ("run",))
+        assert run_entry["delta_exclusive"] == pytest.approx(0.0)
+
+    def test_diff_surfaces_new_frames(self, clock, tmp_path):
+        a = self.saved(clock, tmp_path, "a.json", 2.0)
+        clock.t = 0.0
+        prof = RunProfiler()
+        with prof.phase("run"):
+            with prof.phase("brand.new"):
+                clock.advance(4.0)
+        path = str(tmp_path / "c.json")
+        prof.save(path)
+        c = load_profile(path)
+        entries = diff_profiles(a, c)
+        new = next(e for e in entries if e["path"] == ("run", "brand.new"))
+        assert new["baseline_exclusive"] == 0.0
+        assert new["candidate_exclusive"] == pytest.approx(4.0)
+        out = render_profile_diff(a, c)
+        assert "profile diff" in out
+        assert "new" in out
+
+
+class TestAllocTracking:
+    def test_alloc_bytes_recorded(self):
+        prof = RunProfiler(track_alloc=True)
+        try:
+            keep = []
+            with prof.phase("allocate"):
+                keep.append(bytearray(1 << 20))
+            assert frame(prof, "allocate").alloc_bytes >= (1 << 20) * 0.9
+        finally:
+            prof.finish()
+
+    def test_finish_stops_tracemalloc_it_started(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        prof = RunProfiler(track_alloc=True)
+        assert tracemalloc.is_tracing()
+        prof.finish()
+        assert not tracemalloc.is_tracing()
+
+    def test_finish_leaves_foreign_tracemalloc_running(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            prof = RunProfiler(track_alloc=True)
+            prof.finish()
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+
+class TestServerlessRunIntegration:
+    def run_profiled(self, **prof_kwargs):
+        model = get_model("resnet50")
+        profiles = ProfileService()
+        slo = SLO()
+        trace = poisson_trace(
+            rate_rps=model.peak_rps, duration=10.0, seed=0
+        )
+        policy = make_policy(
+            "paldia", model, profiles, slo.target_seconds, trace
+        )
+        prof = RunProfiler(**prof_kwargs)
+        run = ServerlessRun(
+            model, trace, policy, profiles, slo, selfprof=prof
+        )
+        result = run.execute()
+        prof.finish()
+        return result, prof
+
+    def test_phase_tree_shape(self):
+        result, prof = self.run_profiled()
+        run_frame = prof.root.children["run"]
+        assert {"setup", "engine", "finalize"} <= set(run_frame.children)
+        names = {f.name for f in prof.walk()}
+        assert "arrivals.window" in names
+        assert "select.choose_best_HW" in names
+        assert "batch.plan" in names
+        assert "gpu.submit" in names
+        assert "gpu.complete" in names
+        # Engine callback sites appear as cb: frames under "engine".
+        engine = run_frame.children["engine"]
+        assert any(n.startswith("cb:") for n in engine.children)
+
+    def test_wall_clock_conservation(self):
+        result, prof = self.run_profiled()
+        assert result.wall_seconds > 0
+        # The acceptance contract is 5% on the benchmark scenario; unit
+        # tests on a loaded machine get a slightly wider net.
+        assert prof.total_seconds == pytest.approx(
+            result.wall_seconds, rel=0.10
+        )
+
+    def test_engine_sites_off_keeps_engine_flat(self):
+        _result, prof = self.run_profiled(engine_sites=False)
+        engine = prof.root.children["run"].children["engine"]
+        assert not any(n.startswith("cb:") for n in engine.children)
+        # Phases are still recorded, now directly under "engine".
+        names = {f.name for f in prof.walk()}
+        assert "arrivals.window" in names
+
+    def test_unprofiled_result_has_wall_seconds(self):
+        model = get_model("resnet50")
+        profiles = ProfileService()
+        slo = SLO()
+        trace = poisson_trace(rate_rps=model.peak_rps, duration=5.0, seed=0)
+        policy = make_policy(
+            "paldia", model, profiles, slo.target_seconds, trace
+        )
+        result = ServerlessRun(
+            model, trace, policy, profiles, slo
+        ).execute()
+        assert result.wall_seconds > 0

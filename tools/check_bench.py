@@ -1,17 +1,37 @@
 #!/usr/bin/env python
-"""Gate engine-benchmark regressions against the committed baseline.
+"""Gate benchmark regressions against a committed baseline.
 
-``benchmarks/test_bench_engine.py`` records machine-independent speedup
-ratios (seed reference engine vs current engine, timed interleaved in one
-process) in ``BENCH_engine.current.json``.  This script compares them to
-the committed ``benchmarks/BENCH_engine.json`` and exits non-zero when
-any ratio has dropped more than ``--tolerance`` (default 25%) below its
-baseline — the CI contract from the engine-rewrite PR.
+Two gating modes, selected with ``--mode``:
+
+``ratio`` (default)
+    For speedup ratios that must not *drop*: one-sided floor check.
+    ``benchmarks/test_bench_engine.py`` records machine-independent
+    speedup ratios (seed reference engine vs current engine, timed
+    interleaved in one process) in ``BENCH_engine.current.json``; any
+    ratio more than ``--tolerance`` (default 25%) below its committed
+    baseline fails — the CI contract from the engine-rewrite PR.
+
+``share``
+    For wall-clock *shares* (fractions in ``[0, 1]``) that must not
+    *drift* in either direction: two-sided absolute check.
+    ``benchmarks/test_bench_selfprof.py`` records per-subsystem
+    exclusive-time shares from the self-profiler in
+    ``BENCH_selfprof.current.json``; any share further than
+    ``--share-tolerance`` (default 0.15 absolute) from its committed
+    ``benchmarks/BENCH_selfprof.json`` baseline fails.  A subsystem
+    suddenly claiming a much larger share of the run is a hot-path
+    regression even when total wall-clock stays acceptable; a share
+    collapsing to zero usually means instrumentation fell off.
 
 Usage::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_engine.py -q
     python tools/check_bench.py
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_selfprof.py -q
+    python tools/check_bench.py --mode share \\
+        --baseline benchmarks/BENCH_selfprof.json \\
+        --current benchmarks/BENCH_selfprof.current.json
 """
 
 from __future__ import annotations
@@ -36,30 +56,18 @@ def load(path: str) -> dict:
     return data["benchmarks"]
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
-    parser.add_argument("--current", default=DEFAULT_CURRENT)
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.25,
-        help="allowed fractional drop below baseline (default 0.25)",
-    )
-    args = parser.parse_args(argv)
-
-    baseline = load(args.baseline)
-    current = load(args.current)
-
+def check_ratio(baseline: dict, current: dict, tolerance: float,
+                current_path: str) -> list[str]:
+    """One-sided floor: fail when a ratio drops > tolerance below base."""
     failures = []
     print(f"{'benchmark':<18} {'baseline':>9} {'current':>9} {'floor':>9}")
     for name in sorted(baseline):
         base = baseline[name]["value"]
-        floor = base * (1.0 - args.tolerance)
+        floor = base * (1.0 - tolerance)
         entry = current.get(name)
         if entry is None:
             print(f"{name:<18} {base:>9.3f} {'MISSING':>9} {floor:>9.3f}")
-            failures.append(f"{name}: missing from {args.current}")
+            failures.append(f"{name}: missing from {current_path}")
             continue
         value = entry["value"]
         status = "ok" if value >= floor else "REGRESSED"
@@ -67,9 +75,74 @@ def main(argv: list[str] | None = None) -> int:
         if value < floor:
             failures.append(
                 f"{name}: speedup {value:.3f} fell below "
-                f"{floor:.3f} ({100 * args.tolerance:.0f}% under the "
+                f"{floor:.3f} ({100 * tolerance:.0f}% under the "
                 f"baseline {base:.3f})"
             )
+    return failures
+
+
+def check_share(baseline: dict, current: dict, tolerance: float,
+                current_path: str) -> list[str]:
+    """Two-sided absolute drift: fail when |current - base| > tolerance."""
+    failures = []
+    print(f"{'benchmark':<22} {'baseline':>9} {'current':>9} {'drift':>9}")
+    for name in sorted(baseline):
+        base = baseline[name]["value"]
+        entry = current.get(name)
+        if entry is None:
+            print(f"{name:<22} {base:>9.3f} {'MISSING':>9} {'-':>9}")
+            failures.append(f"{name}: missing from {current_path}")
+            continue
+        value = entry["value"]
+        drift = value - base
+        status = "ok" if abs(drift) <= tolerance else "DRIFTED"
+        print(
+            f"{name:<22} {base:>9.3f} {value:>9.3f} {drift:>+9.3f}  {status}"
+        )
+        if abs(drift) > tolerance:
+            failures.append(
+                f"{name}: share {value:.3f} drifted {drift:+.3f} from the "
+                f"baseline {base:.3f} (limit ±{tolerance:.3f})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--current", default=DEFAULT_CURRENT)
+    parser.add_argument(
+        "--mode", choices=("ratio", "share"), default="ratio",
+        help="ratio: one-sided floor on speedup ratios (default); "
+        "share: two-sided absolute drift on wall-clock shares",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="ratio mode: allowed fractional drop below baseline "
+        "(default 0.25)",
+    )
+    parser.add_argument(
+        "--share-tolerance",
+        type=float,
+        default=0.15,
+        help="share mode: allowed absolute drift either way "
+        "(default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    if args.mode == "share":
+        failures = check_share(
+            baseline, current, args.share_tolerance, args.current
+        )
+    else:
+        failures = check_ratio(
+            baseline, current, args.tolerance, args.current
+        )
 
     if failures:
         print("\nFAIL:", file=sys.stderr)
