@@ -11,6 +11,13 @@ from repro.analysis.attribution import (
     write_attribution_json,
 )
 from repro.analysis.breakdown import TailBreakdown, tail_breakdown_of
+from repro.analysis.cost_report import (
+    ComplianceCost,
+    cost_of_compliance,
+    render_cost_report,
+    write_cost_frontier_svg,
+    write_cost_json,
+)
 from repro.analysis.trace_diff import (
     PhaseDelta,
     TraceDiff,
@@ -50,13 +57,15 @@ from repro.analysis.stats import (
 
 __all__ = [
     "ATTRIBUTION_CAUSES", "AttributionReport", "BREAKDOWN_COMPONENTS",
-    "CounterfactualVerdict", "PhaseDelta", "RunSummary", "SCHEME_LABELS",
-    "TailBreakdown", "TraceDiff", "ViolationRecord", "attribute_trace",
-    "breakdown_totals", "cdf_points", "compliance_percent", "decision_rows",
+    "ComplianceCost", "CounterfactualVerdict", "PhaseDelta", "RunSummary",
+    "SCHEME_LABELS", "TailBreakdown", "TraceDiff", "ViolationRecord",
+    "attribute_trace", "breakdown_totals", "cdf_points",
+    "compliance_percent", "cost_of_compliance", "decision_rows",
     "diff_traces", "drop_outliers", "format_value", "hardware_timeline",
     "load_trace", "mean_without_outliers", "normalize", "percentile",
     "rate_sparkline", "render_attribution_html", "render_attribution_report",
-    "render_kv", "render_run_timeline", "render_table", "render_trace_diff",
-    "render_trace_report", "scheme_label", "summarize_runs", "switch_rows",
-    "tail_breakdown_of", "write_attribution_json",
+    "render_cost_report", "render_kv", "render_run_timeline", "render_table",
+    "render_trace_diff", "render_trace_report", "scheme_label",
+    "summarize_runs", "switch_rows", "tail_breakdown_of",
+    "write_attribution_json", "write_cost_frontier_svg", "write_cost_json",
 ]

@@ -54,6 +54,13 @@ Commands
 ``trace-diff BASELINE CANDIDATE [--slo MS]``
     Compare two recorded traces: per-phase latency deltas and
     per-cause violation deltas.
+``cost-report MODEL [--schemes S1,S2|all] [--trace T] [--duration D]
+    [--seed N] [--budget DOLLARS] [--svg F.svg] [--json F.json]``
+    Run each scheme under the cost meter and render the dollar
+    waterfall (busy / cold-start / idle / reconfiguration buckets,
+    per-spec and per-(model, hardware) attribution), the
+    cost-of-compliance decision replay, and optionally a
+    self-contained cost–SLO frontier SVG plus ``repro.cost/1`` JSON.
 ``list``
     Show available models, schemes, traces, and experiments.
 
@@ -74,6 +81,13 @@ from repro.analysis.attribution import (
     render_attribution_html,
     render_attribution_report,
     write_attribution_json,
+)
+from repro.analysis.cost_report import (
+    cost_of_compliance,
+    breakdown_json,
+    render_cost_report,
+    write_cost_frontier_svg,
+    write_cost_json,
 )
 from repro.analysis.report import emit, render_kv, render_table, scheme_label
 from repro.analysis.timeseries_report import (
@@ -105,6 +119,7 @@ from repro.telemetry import (
     LiveDashboard,
     RunLedger,
     RunProfiler,
+    TraceData,
     Tracer,
     load_profile,
     read_timeseries,
@@ -265,6 +280,12 @@ def build_parser() -> argparse.ArgumentParser:
                 help="append this run's headline metrics to the SQLite "
                 f"run ledger (default file: {DEFAULT_LEDGER_PATH})",
             )
+            p.add_argument(
+                "--budget", type=float, metavar="DOLLARS", default=None,
+                help="dollar budget for the run; the cost monitor emits "
+                "edge-triggered budget_alert events when the projected "
+                "end-of-run spend crosses it (implies telemetry)",
+            )
 
     p = sub.add_parser("experiment", parents=[common],
                        help="regenerate a paper figure/table")
@@ -407,6 +428,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="SLO deadline in milliseconds (default: baseline trace's own)",
     )
 
+    p = sub.add_parser(
+        "cost-report", parents=[common],
+        help="itemized cost waterfall + cost–SLO frontier per scheme",
+    )
+    p.add_argument("model")
+    p.add_argument(
+        "--schemes", default="paldia", metavar="S1,S2|all",
+        help="comma-separated schemes to run, or 'all' "
+        f"(available: {', '.join(list(SCHEMES) + ['oracle'])})",
+    )
+    p.add_argument("--trace", default="azure", choices=sorted(_TRACES))
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--budget", type=float, metavar="DOLLARS", default=None,
+        help="dollar budget handed to the cost monitor (budget_alert "
+        "events are counted per scheme)",
+    )
+    p.add_argument(
+        "--svg", metavar="FILE", dest="svg_out",
+        help="write the cost–SLO frontier scatter (self-contained SVG, "
+        "one point per scheme) here",
+    )
+    p.add_argument(
+        "--json", metavar="FILE", dest="json_out",
+        help="write the machine-readable repro.cost/1 report here",
+    )
+
     sub.add_parser("list", parents=[common],
                    help="show models, schemes, traces, experiments")
     return parser
@@ -439,6 +488,7 @@ def _cmd_run(args) -> int:
     tracing = bool(
         args.trace_out or args.chrome_trace or args.prom_out
         or args.live or args.timeseries_out or args.ledger
+        or args.budget is not None
     )
     tracer = Tracer() if tracing else None
     profiler = EngineProfiler() if args.profile_engine else None
@@ -475,6 +525,7 @@ def _cmd_run(args) -> int:
             ),
             seed=args.seed,
             timeseries_interval_seconds=args.timeseries_interval,
+            cost_budget_dollars=args.budget,
         )
     dashboard = None
     if args.live:
@@ -504,6 +555,11 @@ def _cmd_run(args) -> int:
         "switches": result.n_switches,
         "cold starts": result.cold_starts,
     }
+    if args.budget is not None:
+        kv["budget"] = (
+            f"${args.budget:.4f} "
+            f"({result.budget_alerts} budget_alert transitions)"
+        )
     if run._chaos is not None:
         kv["faults injected"] = ", ".join(
             f"{kind}={n}" for kind, n in run._chaos.injected.items() if n
@@ -533,6 +589,7 @@ def _cmd_run(args) -> int:
             n = write_prometheus(
                 tracer, args.prom_out,
                 monitor=run.slo_monitor, now=run.sim.now,
+                costmeter=run.costmeter,
             )
             emit(f"wrote {n} Prometheus samples to {args.prom_out}")
         if args.timeseries_out:
@@ -775,6 +832,13 @@ def _cmd_runs(args) -> int:
                 "cold starts": r.cold_starts,
                 "switches": r.n_switches,
             }
+            if r.cost_per_1k_requests:
+                kv["cost / 1k requests"] = f"${r.cost_per_1k_requests:.4f}"
+            if r.idle_cost or r.coldstart_cost:
+                kv["overhead dollars"] = (
+                    f"idle ${r.idle_cost:.4f}, "
+                    f"cold-start ${r.coldstart_cost:.4f}"
+                )
             if r.wall_seconds:
                 kv["wall clock"] = f"{r.wall_seconds:.2f} s"
             if r.top_phase:
@@ -836,6 +900,111 @@ def _cmd_trace_diff(args) -> int:
     return 0
 
 
+def _trace_data_of(tracer: Tracer) -> TraceData:
+    """A live tracer's events as :class:`TraceData` (no file round trip)."""
+    return TraceData(
+        meta=dict(tracer.meta),
+        events=[
+            {
+                "name": e.name,
+                "cat": e.cat,
+                "track": e.track,
+                "t": e.time,
+                "attrs": dict(e.attrs),
+            }
+            for e in tracer.events
+        ],
+    )
+
+
+def _cmd_cost_report(args) -> int:
+    if args.schemes == "all":
+        schemes = list(SCHEMES) + ["oracle"]
+    else:
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+        unknown = [s for s in schemes if s not in SCHEMES and s != "oracle"]
+        if unknown:
+            logger.error(
+                "unknown scheme(s): %s (available: %s)",
+                ", ".join(unknown), ", ".join(list(SCHEMES) + ["oracle"]),
+            )
+            return 1
+    model = get_model(args.model)
+    profiles = ProfileService()
+    slo = SLO()
+    trace = _TRACES[args.trace](model, args.duration, args.seed)
+    points: list[dict] = []
+    json_runs: list[dict] = []
+    for i, scheme in enumerate(schemes):
+        tracer = Tracer()
+        config = RunConfig(
+            seed=args.seed, cost_budget_dollars=args.budget
+        )
+        result, run = _run_one(
+            scheme, model, trace, profiles, slo, config, tracer=tracer
+        )
+        breakdown = result.cost_breakdown
+        if breakdown is None:
+            logger.error("cost meter recorded nothing for %s", scheme)
+            return 1
+        compliance = cost_of_compliance(
+            _trace_data_of(tracer),
+            slo_seconds=slo.target_seconds,
+            horizon=run.sim.now,
+        )
+        if i:
+            emit("")
+        title = (
+            f"cost waterfall — {scheme_label(scheme)} / "
+            f"{model.display_name} on {args.trace} "
+            f"({args.duration:.0f}s, seed {args.seed})"
+        )
+        emit(
+            render_cost_report(
+                breakdown,
+                total_cost=result.total_cost,
+                compliance=compliance,
+                title=title,
+            )
+        )
+        if args.budget is not None:
+            emit(
+                f"budget ${args.budget:.4f}: "
+                f"{result.budget_alerts} budget_alert transitions"
+            )
+        points.append({
+            "label": scheme_label(scheme),
+            "cost_dollars": result.total_cost,
+            "compliance": result.slo_compliance,
+        })
+        json_runs.append({
+            "scheme": scheme,
+            "model": model.name,
+            "trace": args.trace,
+            "seed": args.seed,
+            "duration": args.duration,
+            "slo_compliance": result.slo_compliance,
+            "budget_alerts": result.budget_alerts,
+            **breakdown_json(
+                breakdown,
+                total_cost=result.total_cost,
+                compliance=compliance,
+            ),
+        })
+    if args.svg_out:
+        write_cost_frontier_svg(points, args.svg_out)
+        emit("")
+        emit(f"wrote cost–SLO frontier SVG to {args.svg_out}")
+    if args.json_out:
+        write_cost_json(
+            json_runs, args.json_out,
+            model=model.name, trace=args.trace, seed=args.seed,
+            duration=args.duration, budget_dollars=args.budget,
+        )
+        emit(f"wrote repro.cost/1 JSON to {args.json_out}")
+    return 0
+
+
 def _cmd_list(args) -> int:
     lines = ["models:"]
     for m in ALL_MODELS:
@@ -865,6 +1034,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "runs": _cmd_runs,
         "trace-attribution": _cmd_trace_attribution,
         "trace-diff": _cmd_trace_diff,
+        "cost-report": _cmd_cost_report,
         "list": _cmd_list,
     }[args.command]
     return handler(args)

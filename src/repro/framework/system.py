@@ -51,6 +51,7 @@ from repro.simulator.failures import FailureInjector, FailureSchedule
 from repro.simulator.job import Job
 from repro.simulator.metrics import MetricsCollector
 from repro.simulator.power import cluster_energy_joules, node_energy_joules
+from repro.telemetry.costmeter import CostBreakdown, CostBudgetMonitor, CostMeter
 from repro.telemetry.selfprof import RunProfiler
 from repro.telemetry.slo_monitor import SLOMonitor
 from repro.telemetry.timeseries import StateSampler
@@ -115,6 +116,21 @@ class RunConfig:
     slo_burn_rate_threshold:
         Windowed burn rate (violation rate / error budget) at which the
         monitor emits a ``slo_alert`` event.
+    cost_meter:
+        Itemize lease dollars into busy/cold-start/idle/reconfiguration
+        buckets with per-request pro-rata attribution
+        (:class:`~repro.telemetry.costmeter.CostMeter`).  Like the
+        sampler, the meter only exists when a tracer is enabled; an
+        untraced run pays one ``is None`` branch per lease transition.
+    cost_budget_dollars:
+        Optional dollar budget for the run.  When the windowed $/hour
+        burn rate projects the end-of-run spend past it, the
+        :class:`~repro.telemetry.costmeter.CostBudgetMonitor` emits an
+        edge-triggered ``budget_alert`` event.  ``None`` disables
+        alerting (burn rate is still sampled).
+    cost_budget_window_seconds:
+        Sliding-window width of the burn-rate estimate; ``<= 0``
+        disables the budget monitor entirely.
     """
 
     batch_window_seconds: float = 0.075
@@ -132,6 +148,9 @@ class RunConfig:
     timeseries_interval_seconds: float = 0.5
     slo_monitor_window_seconds: float = 30.0
     slo_burn_rate_threshold: float = 2.0
+    cost_meter: bool = True
+    cost_budget_dollars: Optional[float] = None
+    cost_budget_window_seconds: float = 30.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -176,6 +195,14 @@ class RunResult:
     retries_abandoned: int = 0
     requests_shed: int = 0
     requests_dropped: int = 0
+    #: Itemized dollar decomposition (busy/cold-start/idle/reconfig,
+    #: per-batch pro-rata attribution, per-(model, spec) tables); only
+    #: populated on traced runs with ``RunConfig.cost_meter`` enabled.
+    cost_breakdown: Optional[CostBreakdown] = field(
+        repr=False, default=None
+    )
+    #: ``budget_alert`` transitions emitted by the cost budget monitor.
+    budget_alerts: int = 0
     #: (time, from_node, to_node) per completed traffic reroute.
     switch_log: list[tuple[float, str, str]] = field(default_factory=list)
     metrics: MetricsCollector = field(repr=False, default=None)  # type: ignore[assignment]
@@ -315,6 +342,14 @@ class ServerlessRun:
         #: Time-series state sampler; constructed in ``_setup_telemetry``
         #: only when tracing is enabled and the interval is positive.
         self.sampler: Optional[StateSampler] = None
+        #: Itemized cost meter; installed on the cluster in
+        #: ``_setup_telemetry`` only when tracing is enabled and
+        #: ``config.cost_meter`` is set (shared-cluster lanes reuse the
+        #: first lane's meter).
+        self.costmeter: Optional[CostMeter] = None
+        #: Budget burn-rate watchdog over the meter; sampled from the
+        #: telemetry tick when a meter exists and the window is positive.
+        self.cost_monitor: Optional[CostBudgetMonitor] = None
         self._executed = False
 
     # ------------------------------------------------------------------
@@ -513,6 +548,24 @@ class ServerlessRun:
                 compliance_goal=self.slo.compliance_goal,
                 burn_rate_threshold=self.config.slo_burn_rate_threshold,
             )
+        if self.config.cost_meter:
+            # _setup_telemetry runs before the initial acquire, so the
+            # meter sees every lease.  In a shared cluster the first
+            # lane installs the meter and later lanes reuse it; each
+            # lane's summary filters to its own node ids at finalize.
+            if self.cluster.costmeter is None:
+                self.cluster.costmeter = CostMeter()
+            self.costmeter = self.cluster.costmeter
+            if self.config.cost_budget_window_seconds > 0:
+                self.cost_monitor = CostBudgetMonitor(
+                    self.costmeter,
+                    tracer=self.tracer,
+                    budget_dollars=self.config.cost_budget_dollars,
+                    window_seconds=self.config.cost_budget_window_seconds,
+                    horizon_seconds=(
+                        self.trace.duration + self.config.drain_grace_seconds
+                    ),
+                )
         if self.config.timeseries_interval_seconds > 0:
             self._setup_timeseries()
         self.sim.schedule(
@@ -672,6 +725,23 @@ class ServerlessRun:
                 ),
             )
 
+        # Cumulative dollars + $/hour burn rate (cost pillar).
+        if self.costmeter is not None:
+            meter = self.costmeter
+            sampler.probe(
+                "cost.cumulative_dollars", lambda: meter.spent(self.sim.now)
+            )
+            if self.cost_monitor is not None:
+                budget_mon = self.cost_monitor
+                sampler.probe(
+                    "cost.burn_rate_per_hour",
+                    lambda: budget_mon.burn_rate_per_hour,
+                )
+                sampler.probe(
+                    "cost.projected_dollars",
+                    lambda: budget_mon.projected_dollars,
+                )
+
         # Experiment result-cache counters (process-level registry; flat
         # zero outside experiment harness runs).  Imported lazily to keep
         # the framework layer import-free of the experiments package.
@@ -707,6 +777,12 @@ class ServerlessRun:
             if prof is not None:
                 prof.push("telemetry.monitor")
             self.slo_monitor.sample(now)
+            if prof is not None:
+                prof.pop()
+        if self.cost_monitor is not None:
+            if prof is not None:
+                prof.push("telemetry.cost")
+            self.cost_monitor.sample(now)
             if prof is not None:
                 prof.pop()
         if now < self.trace.duration + self.config.drain_grace_seconds:
@@ -874,6 +950,16 @@ class ServerlessRun:
             if self.resilience is not None:
                 self.resilience.record_success(spec.name, self.sim.now)
             self.metrics.record_batch(batch)
+            meter = self.costmeter
+            if meter is not None:
+                meter.on_batch(
+                    node.node_id,
+                    batch.model.name,
+                    batch.batch_id,
+                    batch.size,
+                    float(batch.started_at),
+                    float(batch.completed_at),
+                )
             if self.tracer.enabled:
                 self.tracer.record_batch_span(batch)
                 self.tracer.metrics.histogram("request.latency_seconds").observe(
@@ -1296,20 +1382,26 @@ class ServerlessRun:
             for node, lease in zip(self.cluster.nodes, self.cluster.leases)
             if node.node_id in self._owned_node_ids
         ]
-        cost = sum(lease.cost(now) for _, lease in owned)
-        energy = sum(
-            node_energy_joules(node, lease.duration(now))
-            for node, lease in owned
-        )
+        # Each lease's cost is computed exactly once; the total is the
+        # same per-lease sum grouped by spec, so the identity
+        # sum(cost_by_spec.values()) == total_cost holds by construction.
+        cost = 0.0
+        energy = 0.0
         cost_by_spec: dict[str, float] = {}
         time_by_spec: dict[str, float] = {}
-        for _, lease in owned:
+        for node, lease in owned:
+            lease_cost = lease.cost(now)
+            cost += lease_cost
+            energy += node_energy_joules(node, lease.duration(now))
             cost_by_spec[lease.spec.name] = (
-                cost_by_spec.get(lease.spec.name, 0.0) + lease.cost(now)
+                cost_by_spec.get(lease.spec.name, 0.0) + lease_cost
             )
             time_by_spec[lease.spec.name] = (
                 time_by_spec.get(lease.spec.name, 0.0) + lease.duration(now)
             )
+        assert math.isclose(
+            sum(cost_by_spec.values()), cost, rel_tol=1e-9, abs_tol=1e-12
+        ), "per-spec cost split does not sum to total_cost"
 
         util: dict[str, list[float]] = {}
         for node, lease in owned:
@@ -1328,6 +1420,15 @@ class ServerlessRun:
             pool.cold_starts
             for node, _ in owned
             for pool in node.pools().values()
+        )
+        breakdown = None
+        meter = self.costmeter
+        if meter is not None:
+            breakdown = meter.summarize(now, node_ids=self._owned_node_ids)
+        budget_alerts = (
+            self.cost_monitor.alerts_emitted
+            if self.cost_monitor is not None
+            else 0
         )
         if self.tracer.enabled:
             # Leases still open at run end never saw a release; close
@@ -1354,6 +1455,10 @@ class ServerlessRun:
                     "engine_dispatches": self.sim.n_dispatched,
                 }
             )
+            if breakdown is not None:
+                self.tracer.meta["cost_buckets"] = dict(
+                    breakdown.bucket_dollars
+                )
         slo_s = self.slo.target_seconds
         return RunResult(
             scheme=self.policy.name,
@@ -1387,6 +1492,8 @@ class ServerlessRun:
                 self.resilience.requests_shed if self.resilience else 0
             ),
             requests_dropped=self.requests_dropped,
+            cost_breakdown=breakdown,
+            budget_alerts=budget_alerts,
             switch_log=list(self.switch_log),
             metrics=self.metrics,
         )

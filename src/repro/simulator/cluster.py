@@ -80,6 +80,9 @@ class NodeInstance:
         self.available = True
         #: Chaos cold-start hook handed to pools created on this node.
         self.spawn_delay_fn: Optional[Callable[[float], float]] = None
+        #: Optional :class:`~repro.telemetry.costmeter.CostMeter` handed
+        #: to pools created on this node (spawn-interval itemization).
+        self.costmeter = None
 
     def pool(self, model_name: str) -> ContainerPool:
         """The container pool for ``model_name`` (created on first use)."""
@@ -88,6 +91,8 @@ class NodeInstance:
         except KeyError:
             pool = ContainerPool(self.sim, self.spec.cold_start_seconds)
             pool.spawn_delay_fn = self.spawn_delay_fn
+            pool.costmeter = self.costmeter
+            pool.cost_key = self.node_id
             self._pools[model_name] = pool
             return pool
 
@@ -165,6 +170,12 @@ class Cluster:
         #: phase-tree frames; ``None`` (the default) leaves devices
         #: entirely uninstrumented.
         self.selfprof = None
+        #: Optional :class:`~repro.telemetry.costmeter.CostMeter` that
+        #: itemizes every lease-second into busy/cold-start/idle/
+        #: reconfiguration dollars.  Propagated to every subsequently
+        #: acquired node (and its pools); ``None`` (the default) costs
+        #: one ``is None`` branch per lease transition.
+        self.costmeter = None
 
     # ------------------------------------------------------------------
     # Acquisition / release
@@ -190,10 +201,19 @@ class Cluster:
             selfprof=self.selfprof,
         )
         node.spawn_delay_fn = self.spawn_delay_fn
+        node.costmeter = self.costmeter
         self.nodes.append(node)
         lease = LeaseRecord(spec=spec, start=self.sim.now)
         self.leases.append(lease)
         self._active_leases[node.node_id] = lease
+        meter = self.costmeter
+        if meter is not None:
+            ready_at = (
+                self.sim.now
+                if instant or spec.provision_seconds <= 0
+                else self.sim.now + spec.provision_seconds
+            )
+            meter.on_acquire(node.node_id, spec, self.sim.now, ready_at)
         if self.tracer.enabled:
             self.tracer.event(
                 "node.acquire",
@@ -217,6 +237,9 @@ class Cluster:
         if lease is None:
             raise ValueError(f"{node!r} has no active lease")
         lease.end = self.sim.now
+        meter = self.costmeter
+        if meter is not None:
+            meter.on_release(node.node_id, self.sim.now)
         if self.tracer.enabled:
             now = self.sim.now
             self.tracer.event(

@@ -17,6 +17,13 @@ request's latency actually went.  This package records the path taken:
 * :class:`~repro.telemetry.slo_monitor.SLOMonitor` — live sliding-window
   SLO attainment / burn-rate tracking that emits ``slo_alert`` events
   into the trace timeline.
+* :class:`~repro.telemetry.costmeter.CostMeter` — itemizes every
+  lease-second into busy / cold-start / idle / reconfiguration dollars,
+  attributes busy dollars to requests pro-rata by batch occupancy, and
+  rolls up per-(model, hardware) cost tables; its
+  :class:`~repro.telemetry.costmeter.CostBudgetMonitor` emits
+  edge-triggered ``budget_alert`` events when the burn rate projects
+  past the run's dollar budget.
 * :mod:`~repro.telemetry.prometheus` — Prometheus text-format snapshot
   of the registry and the monitor windows.
 * :class:`~repro.telemetry.profiling.EngineProfiler` — per-callback-site
@@ -43,6 +50,13 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.telemetry.costmeter import (
+    CostBreakdown,
+    CostBudgetMonitor,
+    CostMeter,
+    LeaseCost,
+    ModelSpecCost,
 )
 from repro.telemetry.profiling import EngineProfiler
 from repro.telemetry.selfprof import (
@@ -71,13 +85,18 @@ from repro.telemetry.exporters import (
 )
 
 __all__ = [
+    "CostBreakdown",
+    "CostBudgetMonitor",
+    "CostMeter",
     "Counter",
     "EngineProfiler",
     "Gauge",
     "Histogram",
+    "LeaseCost",
     "LedgerComparison",
     "LiveDashboard",
     "MetricsRegistry",
+    "ModelSpecCost",
     "NULL_TRACER",
     "RunLedger",
     "RunProfiler",

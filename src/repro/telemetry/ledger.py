@@ -40,14 +40,18 @@ __all__ = [
 #: Default on-disk location (gitignored, like the result cache).
 DEFAULT_LEDGER_PATH = ".repro-ledger.sqlite"
 
-#: v2 added wall_seconds / top_phase / top_phase_share (self-profiling).
-SCHEMA_VERSION = 2
+#: v2 added wall_seconds / top_phase / top_phase_share (self-profiling);
+#: v3 added the cost-meter columns (idle/cold-start dollars, $/1k).
+SCHEMA_VERSION = 3
 
 #: Columns added since v1, applied to older files on open.
 _MIGRATIONS = (
     "wall_seconds REAL NOT NULL DEFAULT 0",
     "top_phase TEXT",
     "top_phase_share REAL NOT NULL DEFAULT 0",
+    "idle_cost REAL NOT NULL DEFAULT 0",
+    "coldstart_cost REAL NOT NULL DEFAULT 0",
+    "cost_per_1k_requests REAL NOT NULL DEFAULT 0",
 )
 
 _SCHEMA = """
@@ -79,7 +83,10 @@ CREATE TABLE IF NOT EXISTS runs (
     extra_json      TEXT NOT NULL DEFAULT '{}',
     wall_seconds    REAL NOT NULL DEFAULT 0,
     top_phase       TEXT,
-    top_phase_share REAL NOT NULL DEFAULT 0
+    top_phase_share REAL NOT NULL DEFAULT 0,
+    idle_cost       REAL NOT NULL DEFAULT 0,
+    coldstart_cost  REAL NOT NULL DEFAULT 0,
+    cost_per_1k_requests REAL NOT NULL DEFAULT 0
 );
 """
 
@@ -127,6 +134,12 @@ class RunRecord:
     wall_seconds: float = 0.0
     top_phase: Optional[str] = None
     top_phase_share: float = 0.0
+    #: Cost-meter columns (0.0 for rows recorded before v3 or for runs
+    #: without the meter): itemized idle / cold-start dollars and the
+    #: headline efficiency scalar, dollars per 1000 offered requests.
+    idle_cost: float = 0.0
+    coldstart_cost: float = 0.0
+    cost_per_1k_requests: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -267,6 +280,12 @@ class RunLedger:
         created = _dt.datetime.now(_dt.timezone.utc).isoformat(
             timespec="seconds"
         )
+        bd = getattr(result, "cost_breakdown", None)
+        idle_cost = bd.idle_dollars if bd is not None else 0.0
+        coldstart_cost = bd.coldstart_dollars if bd is not None else 0.0
+        cost_per_1k = (
+            result.total_cost / offered * 1000.0 if offered else 0.0
+        )
         with self._conn:
             cur = self._conn.execute(
                 """
@@ -276,9 +295,10 @@ class RunLedger:
                     slo_compliance, violation_rate, p50_seconds,
                     p99_seconds, total_cost, cold_starts, n_switches,
                     cache_hits, cache_misses, extra_json,
-                    wall_seconds, top_phase, top_phase_share
+                    wall_seconds, top_phase, top_phase_share,
+                    idle_cost, coldstart_cost, cost_per_1k_requests
                 ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
-                          ?, ?, ?, ?, ?, ?, ?)
+                          ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 """,
                 (
                     created,
@@ -304,6 +324,9 @@ class RunLedger:
                     float(getattr(result, "wall_seconds", 0.0)),
                     top_phase,
                     float(top_phase_share),
+                    float(idle_cost),
+                    float(coldstart_cost),
+                    float(cost_per_1k),
                 ),
             )
         return int(cur.lastrowid)
@@ -338,6 +361,9 @@ class RunLedger:
             wall_seconds=row["wall_seconds"] or 0.0,
             top_phase=row["top_phase"],
             top_phase_share=row["top_phase_share"] or 0.0,
+            idle_cost=row["idle_cost"] or 0.0,
+            coldstart_cost=row["coldstart_cost"] or 0.0,
+            cost_per_1k_requests=row["cost_per_1k_requests"] or 0.0,
         )
 
     def list_runs(self, limit: Optional[int] = None) -> list[RunRecord]:
@@ -416,6 +442,35 @@ class RunLedger:
             scalar("n_switches", float(base.n_switches),
                    float(cand.n_switches)),
         ]
+        if (
+            base.cost_per_1k_requests > 0
+            and cand.cost_per_1k_requests > 0
+        ):
+            # Cost-meter columns (v3): only compared when both rows carry
+            # them — a pre-v3 migrated baseline reads 0 and would flag a
+            # spurious regression otherwise.  Dollar values near zero
+            # get an absolute floor so rounding noise can't flap.
+            def cost_scalar(name: str, b: float, c: float) -> MetricDelta:
+                span = max(abs(b) * rel_tolerance, 5e-4)
+                worse = c - b
+                return MetricDelta(
+                    name=name, baseline=b, candidate=c,
+                    higher_is_worse=True,
+                    regressed=worse > span,
+                    improved=worse < -span,
+                )
+
+            deltas.extend(
+                [
+                    cost_scalar("cost_per_1k_requests",
+                                base.cost_per_1k_requests,
+                                cand.cost_per_1k_requests),
+                    cost_scalar("idle_cost", base.idle_cost,
+                                cand.idle_cost),
+                    cost_scalar("coldstart_cost", base.coldstart_cost,
+                                cand.coldstart_cost),
+                ]
+            )
         if base.wall_seconds > 0 and cand.wall_seconds > 0:
             # Host wall-clock is noisy between runs (shared machines, CPU
             # frequency scaling), so it gets a wider floor than the

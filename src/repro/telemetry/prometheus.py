@@ -12,7 +12,10 @@ snapshot can be diffed, scraped by tooling, or pushed to a gateway:
 * SLO monitor windows -> ``repro_slo_window_*`` gauges labelled by
   ``{scope, key}`` plus a 0/1 ``repro_slo_alert_firing`` flag,
 * time-series sampler columns -> ``repro_ts_*`` gauges holding each
-  series' most recent reading (NaN series are skipped).
+  series' most recent reading (NaN series are skipped),
+* cost meter -> ``repro_cost_total_dollars`` plus per-bucket
+  (``repro_cost_bucket_dollars{bucket=...}``) and per-hardware-spec
+  (``repro_cost_spec_dollars{spec=...}``) gauges.
 
 Metric names are sanitised (``.`` and other non-identifier characters
 become ``_``) and prefixed with ``repro_``.  All values are rendered with
@@ -62,6 +65,7 @@ def to_prometheus_text(
     source: Tracer | MetricsRegistry,
     monitor: Optional[SLOMonitor] = None,
     now: Optional[float] = None,
+    costmeter=None,
 ) -> str:
     """Render the metrics snapshot in Prometheus exposition format.
 
@@ -75,6 +79,9 @@ def to_prometheus_text(
     now:
         Sim-time instant for the monitor evaluation (required when
         ``monitor`` is given).
+    costmeter:
+        Optional :class:`~repro.telemetry.costmeter.CostMeter`; its
+        summary at ``now`` is exported as ``repro_cost_*`` gauges.
     """
     reg = source.metrics if isinstance(source, Tracer) else source
     lines: list[str] = []
@@ -143,6 +150,27 @@ def to_prometheus_text(
                 )
                 lines.append(f"{name}{{{labels}}} {_fmt(value_of(s))}")
 
+    if costmeter is not None:
+        if now is None:
+            raise ValueError("now is required to evaluate the cost meter")
+        breakdown = costmeter.summarize(now)
+        lines.append("# TYPE repro_cost_total_dollars gauge")
+        lines.append(
+            f"repro_cost_total_dollars {_fmt(breakdown.total_dollars)}"
+        )
+        lines.append("# TYPE repro_cost_bucket_dollars gauge")
+        for bucket, dollars in sorted(breakdown.bucket_dollars.items()):
+            lines.append(
+                f'repro_cost_bucket_dollars{{bucket="{_escape_label(bucket)}"}}'
+                f" {_fmt(dollars)}"
+            )
+        lines.append("# TYPE repro_cost_spec_dollars gauge")
+        for spec, dollars in sorted(breakdown.spec_dollars.items()):
+            lines.append(
+                f'repro_cost_spec_dollars{{spec="{_escape_label(spec)}"}}'
+                f" {_fmt(dollars)}"
+            )
+
     return "\n".join(lines) + "\n"
 
 
@@ -151,10 +179,13 @@ def write_prometheus(
     path: str,
     monitor: Optional[SLOMonitor] = None,
     now: Optional[float] = None,
+    costmeter=None,
 ) -> int:
     """Write the snapshot to ``path``; returns the number of sample lines
     (non-comment lines) written."""
-    text = to_prometheus_text(source, monitor=monitor, now=now)
+    text = to_prometheus_text(
+        source, monitor=monitor, now=now, costmeter=costmeter
+    )
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return sum(

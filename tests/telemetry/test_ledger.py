@@ -99,6 +99,54 @@ class TestRecordAndQuery:
             RunLedger(path)
 
 
+class TestCostColumns:
+    def _breakdown(self, idle=0.008, coldstart=0.01):
+        from repro.telemetry.costmeter import CostBreakdown
+
+        busy = 0.05 - idle - coldstart - 0.002
+        return CostBreakdown(
+            total_dollars=0.05,
+            bucket_dollars={
+                "busy": busy, "coldstart": coldstart,
+                "idle": idle, "reconfig": 0.002,
+            },
+        )
+
+    def test_cost_columns_round_trip(self, ledger):
+        result = make_result()
+        result.cost_breakdown = self._breakdown()
+        ledger.record(result, trace="azure", seed=0)
+        r = ledger.get(1)
+        assert r.idle_cost == pytest.approx(0.008)
+        assert r.coldstart_cost == pytest.approx(0.01)
+        # $0.05 over 1000 offered requests.
+        assert r.cost_per_1k_requests == pytest.approx(0.05)
+
+    def test_unmetered_run_records_zero_overheads(self, ledger):
+        ledger.record(make_result(), trace="azure", seed=0)
+        r = ledger.get(1)
+        assert r.idle_cost == 0.0 and r.coldstart_cost == 0.0
+        assert r.cost_per_1k_requests == pytest.approx(0.05)
+
+    def test_cost_per_1k_regression_flagged(self, ledger):
+        ledger.record(make_result(), trace="azure", seed=0)
+        ledger.record(
+            make_result(total_cost=0.08), trace="azure", seed=0
+        )
+        cmp = ledger.compare(1, 2)
+        assert "cost_per_1k_requests" in [d.name for d in cmp.regressions]
+
+    def test_idle_cost_regression_flagged(self, ledger):
+        a = make_result()
+        a.cost_breakdown = self._breakdown(idle=0.005)
+        b = make_result()
+        b.cost_breakdown = self._breakdown(idle=0.020)
+        ledger.record(a, trace="azure", seed=0)
+        ledger.record(b, trace="azure", seed=0)
+        cmp = ledger.compare(1, 2)
+        assert "idle_cost" in [d.name for d in cmp.regressions]
+
+
 class TestCompare:
     def test_identical_runs_not_regressed(self, ledger):
         ledger.record(make_result(), trace="azure", seed=0)

@@ -102,6 +102,23 @@ class TestMigration:
         assert r.top_phase == "batch.plan"
         assert r.top_phase_share == pytest.approx(0.31)
 
+    def test_migrated_rows_default_cost_columns_to_zero(self, v1_path):
+        with RunLedger(v1_path) as ledger:
+            r = ledger.get(1)
+        assert r.idle_cost == 0.0
+        assert r.coldstart_cost == 0.0
+        assert r.cost_per_1k_requests == 0.0
+
+    def test_compare_skips_cost_deltas_for_v1_rows(self, v1_path):
+        # Pre-migration rows carry cost_per_1k_requests=0, so the cost
+        # deltas (which need both sides metered) must stay out.
+        with RunLedger(v1_path) as ledger:
+            cmp = ledger.compare(1, 2)
+        names = {d.name for d in cmp.deltas}
+        assert "cost_per_1k_requests" not in names
+        assert "idle_cost" not in names
+        assert "coldstart_cost" not in names
+
     def test_compare_skips_wall_clock_for_v1_rows(self, v1_path):
         # Pre-migration rows carry wall_seconds=0, so the wall-clock
         # delta (which needs both sides measured) must stay out.

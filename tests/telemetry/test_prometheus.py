@@ -99,6 +99,42 @@ class TestMonitorSeries:
             to_prometheus_text(MetricsRegistry(), monitor=self.make_monitor())
 
 
+class TestCostSeries:
+    def make_meter(self):
+        from repro.hardware.catalog import HardwareKind, HardwareSpec
+        from repro.telemetry.costmeter import CostMeter
+
+        spec = HardwareSpec(
+            "test.node", HardwareKind.GPU, "Test GPU", 3600.0, 16, 8,
+            1.0, 900.0, 100.0, 300.0, 2.0, 5.0,
+        )
+        meter = CostMeter()
+        meter.on_acquire(0, spec, 0.0, ready_at=5.0)
+        meter.on_batch(0, "resnet50", 1, 4, 6.0, 8.0)
+        meter.on_release(0, 10.0)
+        return meter
+
+    def test_cost_gauges_exported(self):
+        text = to_prometheus_text(
+            MetricsRegistry(), costmeter=self.make_meter(), now=10.0
+        )
+        assert "# TYPE repro_cost_total_dollars gauge" in text
+        assert "repro_cost_total_dollars 10" in text
+        assert 'repro_cost_bucket_dollars{bucket="busy"} 2' in text
+        assert 'repro_cost_bucket_dollars{bucket="reconfig"} 5' in text
+        assert 'repro_cost_spec_dollars{spec="test.node"} 10' in text
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert _SAMPLE_RE.match(line), line
+
+    def test_costmeter_requires_now(self):
+        with pytest.raises(ValueError, match="now"):
+            to_prometheus_text(
+                MetricsRegistry(), costmeter=self.make_meter()
+            )
+
+
 class TestWrite:
     def test_write_counts_sample_lines(self, tmp_path):
         path = tmp_path / "snap.prom"
