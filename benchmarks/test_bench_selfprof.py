@@ -121,6 +121,28 @@ def test_attribution_conserves_wall_clock_and_records_shares():
         f"{name} {100 * share:.1f}%" for name, share in top
     ))
 
+    # Frame-level gate from the vectorized-policy-core PR: the two
+    # policy hot frames (Equation-(1) window planning and the Algorithm 1
+    # candidate scan) held a combined ~0.58 exclusive share on this
+    # scenario before the columnar rewrite; the contract is < 0.30.
+    by_name = {}
+    for path, _depth, _count, _incl, excl in prof.rows():
+        by_name[path[-1]] = by_name.get(path[-1], 0.0) + excl
+    plan_share = by_name.get("batch.plan", 0.0) / attributed
+    select_share = by_name.get("select.choose_best_HW", 0.0) / attributed
+    RESULTS["frame:batch.plan"] = {"value": round(plan_share, 3)}
+    RESULTS["frame:select.choose_best_HW"] = {
+        "value": round(select_share, 3)
+    }
+    combined = plan_share + select_share
+    print(f"policy hot frames: batch.plan {100 * plan_share:.1f}%, "
+          f"select.choose_best_HW {100 * select_share:.1f}% "
+          f"(combined {100 * combined:.1f}%)")
+    assert combined < 0.30, (
+        f"policy hot frames hold {100 * combined:.1f}% of the run "
+        "(vectorized-core contract: < 30%)"
+    )
+
 
 def count_calls_into(fn, filename):
     """Python-level calls executed by ``fn`` whose code lives in

@@ -41,8 +41,20 @@ from repro.baselines.infless_llama import InflessLlamaPolicy
 from repro.baselines.molecule import MoleculePolicy
 from repro.baselines.offline_hybrid import OfflineHybridPolicy
 from repro.baselines.oracle import OraclePolicy
-from repro.core.model import SplitDecision, cpu_t_max, optimal_split
+from repro.core.hardware_selection import CandidateRow, CandidateTable
+from repro.core.model import (
+    SplitDecision,
+    cpu_t_max,
+    optimal_split,
+    optimal_split_batch,
+)
 from repro.core.paldia import PaldiaPolicy
+from repro.framework.batching import (
+    DispatchWindow,
+    WindowTable,
+    carve_sizes,
+    window_groups,
+)
 from repro.core.predictor import EWMAPredictor, OraclePredictor
 from repro.framework.request import Batch, ShareMode
 from repro.framework.slo import SLO
@@ -79,6 +91,9 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_MODELS",
     "Batch",
+    "CandidateRow",
+    "CandidateTable",
+    "DispatchWindow",
     "EWMAPredictor",
     "HardwareCatalog",
     "HardwareSpec",
@@ -107,14 +122,18 @@ __all__ = [
     "Trace",
     "VISION_MODELS",
     "WindowPlan",
+    "WindowTable",
     "azure_trace",
+    "carve_sizes",
     "constant_trace",
     "cpu_t_max",
     "default_catalog",
     "get_model",
     "language_models",
     "optimal_split",
+    "optimal_split_batch",
     "poisson_trace",
+    "window_groups",
     "twitter_trace",
     "vision_models",
     "wiki_trace",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Optional
 
 from repro.framework.batching import carve_sizes
@@ -51,16 +52,22 @@ class WindowPlan:
     y: int
     predicted_t_max: Optional[float] = None
 
-    @property
+    # Derived views are cached: plans are immutable values that policies
+    # memoise and replay across windows, and the framework reads these on
+    # every dispatch.
+    @cached_property
     def n(self) -> int:
+        """Total requests covered by the plan."""
         return sum(b.size for b in self.batches)
 
-    @property
+    @cached_property
     def n_spatial_batches(self) -> int:
+        """Number of MPS (spatial) sub-batches."""
         return sum(1 for b in self.batches if b.mode == ShareMode.SPATIAL)
 
-    @property
+    @cached_property
     def has_temporal(self) -> bool:
+        """Whether any sub-batch waits in the device FIFO."""
         return any(b.mode == ShareMode.TEMPORAL for b in self.batches)
 
 
@@ -122,6 +129,10 @@ class Policy(ABC):
 
     name: str = "abstract"
     instant_switch: bool = False
+    #: Cache pure profile lookups (``batch_size_on``).  Policies exposing
+    #: an uncached reference mode (Paldia's ``vectorized=False``) flip
+    #: this off so the seed's call pattern is reproduced exactly.
+    _memoize_profiles: bool = True
 
     def __init__(
         self,
@@ -132,6 +143,7 @@ class Policy(ABC):
         self.model = model
         self.profiles = profiles
         self.slo_seconds = float(slo_seconds)
+        self._batch_size_cache: dict[str, int] = {}
         #: Decision-audit sink (disabled by default; the framework binds
         #: the run's tracer before the first decision is made).
         self.tracer: Tracer = NULL_TRACER
@@ -192,9 +204,19 @@ class Policy(ABC):
 
     # ------------------------------------------------------------------
     def batch_size_on(self, hw: HardwareSpec) -> int:
-        """The flexible batch size this policy uses on ``hw``."""
+        """The flexible batch size this policy uses on ``hw``.
+
+        A pure function of ``(model, hw, slo)``, so the answer is memoised
+        per hardware unless the policy runs in reference mode."""
+        if self._memoize_profiles:
+            b = self._batch_size_cache.get(hw.name)
+            if b is not None:
+                return b
         b = self.profiles.best_batch(self.model, hw, self.slo_seconds)
-        return b if b > 0 else 1
+        b = b if b > 0 else 1
+        if self._memoize_profiles:
+            self._batch_size_cache[hw.name] = b
+        return b
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(model={self.model.name})"

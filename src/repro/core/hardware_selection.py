@@ -15,15 +15,27 @@ Every monitoring interval the selector:
 5. applies hysteresis: only after ``wait_limit`` (3) consecutive intervals
    disagreeing with the current hardware does it request a reconfiguration
    — a single off-trend interval should not churn nodes.
+
+The candidate scan is *columnar*: one :class:`CandidateTable` holds the
+whole ``HW_dict`` as parallel numpy arrays (latency, cost, co-run level,
+occupancy), solved in a single ``(candidates x y)`` grid by
+:func:`repro.core.model.optimal_split_batch` and reduced with vectorised
+feasibility masks + argmin.  The original row-by-row path is preserved
+behind ``vectorized=False`` as the seed oracle; the two are bit-identical
+(same IEEE operation order, same first-index tie-breaking) and the golden
+suite holds them to it.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
-from repro.core.model import SplitDecision, cpu_t_max, optimal_split
+import numpy as np
+
+from repro.core._reference_model import reference_optimal_split
+from repro.core.model import cpu_t_max, optimal_split_batch
 from repro.core.predictor import RatePredictor
 from repro.hardware.catalog import HardwareSpec
 from repro.hardware.profiles import ProfileService
@@ -33,13 +45,14 @@ from repro.workloads.models import ModelSpec
 __all__ = [
     "CandidateEvaluation",
     "CandidateRow",
+    "CandidateTable",
     "SelectionOutcome",
     "HardwareSelector",
     "choose_best_row",
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CandidateEvaluation:
     """One row of Algorithm 1's ``HW_dict``: a candidate's best latency."""
 
@@ -49,7 +62,7 @@ class CandidateEvaluation:
     cost: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CandidateRow:
     """A recorded ``HW_dict`` row, decoupled from live catalog objects.
 
@@ -59,6 +72,13 @@ class CandidateRow:
     ``null``), and :meth:`from_attrs` parses that back so the
     counterfactual engine can re-run ``choose_best_HW`` over logged state
     without re-simulation.
+
+    .. deprecated:: on the hot path
+        The live selection loop no longer materialises dict-shaped rows;
+        it runs on :class:`CandidateTable`'s parallel arrays and exposes
+        rows only as lazily-built views (:meth:`CandidateTable.row`).
+        :meth:`from_attrs` remains the supported entry point for *replay*
+        consumers (attribution, reports) parsing recorded trace events.
     """
 
     hw_name: str
@@ -104,6 +124,16 @@ def _choose_best_generic(rows, t_of, cost_of, budget: float, slack: float):
     return min(pool, key=lambda r: (cost_of(r), t_of(r)))
 
 
+def _lexmin_index(primary: np.ndarray, secondary: np.ndarray) -> int:
+    """First index minimising ``(primary, secondary)`` lexicographically —
+    the vectorised twin of ``min(rows, key=lambda r: (p(r), s(r)))``,
+    including Python ``min``'s first-occurrence tie-breaking."""
+    pmin = primary.min()
+    cand = primary == pmin
+    smin = secondary[cand].min()
+    return int(np.flatnonzero(cand & (secondary == smin))[0])
+
+
 def choose_best_row(
     rows: list[CandidateRow],
     slo_budget: float,
@@ -126,14 +156,177 @@ def choose_best_row(
     )
 
 
+@dataclass(frozen=True)
+class CandidateTable:
+    """Algorithm 1's ``HW_dict`` as parallel (columnar) numpy arrays.
+
+    This is the public selection API: one tick's candidate scan lives in
+    one table — no per-candidate Python objects on the hot path.  Rows
+    (for attribution and report consumers) are materialised lazily via
+    :meth:`row` / :meth:`rows`; the recorded ``hardware_selection.tick``
+    payload (:meth:`as_trace_rows`) keeps the exact seed schema, so
+    ``repro.attribution/1`` replay is unchanged.
+
+    Attributes
+    ----------
+    specs:
+        Candidate hardware, fixing row order.
+    least_t_max:
+        Best achievable worst-case latency per candidate (``inf`` when
+        the candidate cannot serve the model at all).
+    best_y:
+        The Equation-(1) ``y`` achieving it (``NaN`` for CPU/incapable
+        rows, where no spatial/temporal split applies).
+    cost_per_hour:
+        Lease price per candidate.
+    co_run:
+        Co-located batch count implied by ``best_y`` (``None`` on tables
+        packed from scalar evaluations, which never computed it).
+    occupancy:
+        Planned aggregate FBR (existing + new residents) at ``best_y``.
+
+    The arrays are frozen (non-writeable views) — a table is a value.
+    """
+
+    specs: tuple[HardwareSpec, ...]
+    least_t_max: np.ndarray
+    best_y: np.ndarray
+    cost_per_hour: np.ndarray
+    co_run: Optional[np.ndarray] = None
+    occupancy: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        for arr in (
+            self.least_t_max, self.best_y, self.cost_per_hour,
+            self.co_run, self.occupancy,
+        ):
+            if arr is not None:
+                arr.flags.writeable = False
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[CandidateRow]:
+        return iter(self.rows())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_evaluations(
+        cls, evaluations: list[CandidateEvaluation]
+    ) -> "CandidateTable":
+        """Pack scalar :class:`CandidateEvaluation` rows into a table
+        (the ``vectorized=False`` reference path; no co-run/occupancy
+        columns — the scalar scan never computed them)."""
+        return cls(
+            specs=tuple(e.hw for e in evaluations),
+            least_t_max=np.array(
+                [e.least_t_max for e in evaluations], dtype=np.float64
+            ),
+            best_y=np.array(
+                [math.nan if e.best_y is None else float(e.best_y)
+                 for e in evaluations],
+                dtype=np.float64,
+            ),
+            cost_per_hour=np.array(
+                [e.cost for e in evaluations], dtype=np.float64
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorised selection (choose_best_HW on arrays)
+    # ------------------------------------------------------------------
+    def feasible_mask(self, budget: float) -> np.ndarray:
+        """Boolean mask of candidates whose best T_max fits ``budget``."""
+        return self.least_t_max <= budget
+
+    def choose_best_index(self, budget: float, slack: float) -> int:
+        """Vectorised ``choose_best_HW``: cheapest candidate within
+        ``slack`` of the most performant (see
+        :func:`_choose_best_generic`, whose semantics — including
+        first-index tie-breaking — this reproduces exactly)."""
+        t = self.least_t_max
+        if t.size == 0:
+            raise ValueError("no candidates to choose from")
+        cost = self.cost_per_hour
+        fitting = t <= budget
+        if not fitting.any():
+            return _lexmin_index(t, cost)
+        threshold = max(float(t.min()) + slack, 0.8 * budget)
+        window = fitting & (t <= threshold)
+        pool = window if window.any() else fitting
+        return _lexmin_index(
+            np.where(pool, cost, np.inf), np.where(pool, t, np.inf)
+        )
+
+    def index_of(self, hw_name: str) -> Optional[int]:
+        for i, spec in enumerate(self.specs):
+            if spec.name == hw_name:
+                return i
+        return None
+
+    # ------------------------------------------------------------------
+    # Lazily-materialised row views (attribution / report consumers)
+    # ------------------------------------------------------------------
+    def _best_y_at(self, i: int) -> Optional[int]:
+        y = float(self.best_y[i])
+        return None if math.isnan(y) else int(y)
+
+    def row(self, i: int) -> CandidateRow:
+        """Materialise row ``i`` as a replay-shaped :class:`CandidateRow`."""
+        return CandidateRow(
+            hw_name=self.specs[i].name,
+            least_t_max=float(self.least_t_max[i]),
+            best_y=self._best_y_at(i),
+            cost_per_hour=float(self.cost_per_hour[i]),
+        )
+
+    def rows(self) -> list[CandidateRow]:
+        return [self.row(i) for i in range(len(self.specs))]
+
+    def evaluations(self) -> list[CandidateEvaluation]:
+        """Materialise live-shaped rows (back-compat view)."""
+        return [
+            CandidateEvaluation(
+                hw=self.specs[i],
+                least_t_max=float(self.least_t_max[i]),
+                best_y=self._best_y_at(i),
+                cost=float(self.cost_per_hour[i]),
+            )
+            for i in range(len(self.specs))
+        ]
+
+    def as_trace_rows(self) -> list[dict]:
+        """The ``hardware_selection.tick`` candidate payload — the exact
+        seed schema (``{hw, least_t_max, best_y, cost_per_hour}``)."""
+        return [
+            {
+                "hw": self.specs[i].name,
+                "least_t_max": float(self.least_t_max[i]),
+                "best_y": self._best_y_at(i),
+                "cost_per_hour": float(self.cost_per_hour[i]),
+            }
+            for i in range(len(self.specs))
+        ]
+
+
 @dataclass
 class SelectionOutcome:
-    """Result of one monitoring tick."""
+    """Result of one monitoring tick.
+
+    ``table`` is the columnar candidate scan; ``evaluations`` remains as a
+    lazily-materialised object view of the same rows.
+    """
 
     chosen: HardwareSpec
-    evaluations: list[CandidateEvaluation]
+    table: CandidateTable
     switch_requested: bool
     predicted_rps: float
+
+    @property
+    def evaluations(self) -> list[CandidateEvaluation]:
+        return self.table.evaluations()
 
 
 class HardwareSelector:
@@ -166,6 +359,11 @@ class HardwareSelector:
     latency_budget_fraction:
         Fraction of the SLO that T_max may consume (the rest absorbs
         batching wait, dispatch, and prediction error).
+    vectorized:
+        Run the candidate scan on the columnar :class:`CandidateTable`
+        grid (default).  ``False`` keeps the seed's row-by-row scan with
+        no memoisation — the oracle the golden bit-identity suite compares
+        against.
     """
 
     def __init__(
@@ -181,6 +379,7 @@ class HardwareSelector:
         wait_limit_down: int = 20,
         latency_budget_fraction: float = 0.85,
         is_available: Optional[Callable[[HardwareSpec], bool]] = None,
+        vectorized: bool = True,
     ) -> None:
         self.model = model
         self.profiles = profiles
@@ -193,6 +392,7 @@ class HardwareSelector:
         self.wait_limit_down = int(wait_limit_down)
         self.latency_budget_fraction = float(latency_budget_fraction)
         self.is_available = is_available or (lambda hw: True)
+        self.vectorized = bool(vectorized)
         #: Host-contention inflation per candidate (>= 1).  The default —
         #: no inflation — is the paper's model; the contention-aware
         #: extension (its stated future work) plugs in live estimates.
@@ -202,6 +402,19 @@ class HardwareSelector:
         #: Decision-audit sink; every tick emits a
         #: ``hardware_selection.tick`` event when tracing is enabled.
         self.tracer: Tracer = NULL_TRACER
+        #: Per-hardware profiled constants (batch, solo, fbr, bounds) —
+        #: pure functions of (model, hw, slo), resolved once.
+        self._consts: dict[str, tuple] = {}
+        #: Memoised candidate tables keyed on the exact solve inputs.
+        self._table_cache: dict[tuple, CandidateTable] = {}
+        #: Memoised per-candidate solve results keyed on
+        #: ``(hw.name, n_future, existing_fbr, contention)``.  Rows of the
+        #: candidate grid are independent (every operation in the solver
+        #: is elementwise), so a row computed for one pool is bit-reusable
+        #: in any other pool containing the same candidate — and residency
+        #: only burdens the incumbent, so the other rows survive every
+        #: ``existing_fbr`` variation.
+        self._row_cache: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # Candidate evaluation (the par_for body of Algorithm 1)
@@ -210,7 +423,7 @@ class HardwareSelector:
         self, hw: HardwareSpec, n_future: int, existing_fbr: float = 0.0
     ) -> CandidateEvaluation:
         """Best achievable worst-case latency of ``hw`` for ``n_future``
-        requests (Algorithm 1 steps c/d)."""
+        requests (Algorithm 1 steps c/d) — the scalar reference scan."""
         budget = self.slo_seconds * self.latency_budget_fraction
         batch = self.profiles.best_batch(self.model, hw, self.slo_seconds)
         if batch == 0:
@@ -229,7 +442,10 @@ class HardwareSelector:
             return CandidateEvaluation(
                 hw=hw, least_t_max=t, best_y=None, cost=hw.price_per_hour
             )
-        decision = optimal_split(
+        # The seed's per-call solve (frozen in _reference_model): this
+        # scalar scan is the cost oracle the vectorized table is measured
+        # against, so it must pay the seed's exact work.
+        decision = reference_optimal_split(
             n=n_future,
             batch_size=batch,
             solo=solo,
@@ -246,6 +462,162 @@ class HardwareSelector:
             best_y=decision.y,
             cost=hw.price_per_hour,
         )
+
+    def _hw_consts(self, hw: HardwareSpec) -> tuple:
+        """Profiled per-candidate constants, resolved once per hardware:
+        ``(batch, solo_base, fbr, max_coresident, solo_single, price)``.
+        ``batch == 0`` marks an incapable node; ``fbr`` is 0 for CPUs."""
+        try:
+            return self._consts[hw.name]
+        except KeyError:
+            pass
+        profiles = self.profiles
+        batch = profiles.best_batch(self.model, hw, self.slo_seconds)
+        if batch == 0:
+            entry = (0, 0.0, 0.0, 0, 0.0, hw.price_per_hour)
+        else:
+            entry = (
+                batch,
+                profiles.solo_time(self.model, hw, batch),
+                profiles.fbr(self.model, hw) if hw.is_gpu else 0.0,
+                profiles.max_coresident(self.model, hw) if hw.is_gpu else 0,
+                profiles.solo_time(self.model, hw, 1) if hw.is_gpu else 0.0,
+                hw.price_per_hour,
+            )
+        self._consts[hw.name] = entry
+        return entry
+
+    def evaluate_pool(
+        self,
+        pool: list[HardwareSpec],
+        n_future: int,
+        current_hw: Optional[HardwareSpec] = None,
+        existing_fbr: float = 0.0,
+    ) -> CandidateTable:
+        """Columnar candidate scan: the whole pool solved as one
+        ``(candidates x y)`` grid (see
+        :func:`repro.core.model.optimal_split_batch`).
+
+        Residency (``existing_fbr``) only burdens the incumbent row — a
+        candidate we would switch to starts empty.  Results are memoised
+        on the exact solve inputs; repeated ticks under a steady rate are
+        dictionary lookups.
+        """
+        return self._table_entry(pool, n_future, current_hw, existing_fbr)[0]
+
+    def _table_entry(
+        self,
+        pool: list[HardwareSpec],
+        n_future: int,
+        current_hw: Optional[HardwareSpec],
+        existing_fbr: float,
+    ) -> list:
+        """Cache entry ``[table, chosen_index_or_None]`` for one scan.
+
+        The chosen index is filled in lazily by :meth:`tick` — budget and
+        slack are selector constants, so a table's verdict never changes."""
+        contentions = tuple(
+            max(1.0, self.contention_for(hw)) for hw in pool
+        )
+        inc = current_hw.name if current_hw is not None else None
+        key = (
+            tuple(hw.name for hw in pool),
+            n_future,
+            inc,
+            existing_fbr,
+            contentions,
+        )
+        cached = self._table_cache.get(key)
+        if cached is not None:
+            return cached
+
+        c = len(pool)
+        consts = [self._hw_consts(hw) for hw in pool]
+        t_col = np.empty(c, dtype=np.float64)
+        y_col = np.full(c, np.nan)
+        cost_col = np.array([e[5] for e in consts], dtype=np.float64)
+        co_run_col = np.zeros(c)
+        occ_col = np.zeros(c)
+
+        row_cache = self._row_cache
+        unsolved: list[int] = []
+        for i, hw in enumerate(pool):
+            batch, solo_base, _fbr, _mc, _ss, _price = consts[i]
+            if batch == 0:
+                t_col[i] = np.inf
+                continue
+            ef_i = (
+                existing_fbr
+                if inc is not None and hw.name == inc
+                else 0.0
+            )
+            row_key = (hw.name, n_future, ef_i, contentions[i])
+            row = row_cache.get(row_key)
+            if row is not None:
+                t_col[i], y_col[i], co_run_col[i], occ_col[i] = row
+            elif not hw.is_gpu:
+                t = cpu_t_max(
+                    n_future, batch, solo_base * contentions[i],
+                    hw.cpu_lanes, horizon=self.plan_horizon_seconds,
+                )
+                t_col[i] = t
+                row_cache[row_key] = (t, np.nan, 0.0, 0.0)
+            else:
+                unsolved.append(i)
+        if unsolved:
+            idx = np.array(unsolved)
+            t_best, y_best, k_best, occ_best = optimal_split_batch(
+                n=n_future,
+                batch_sizes=np.array([consts[i][0] for i in unsolved]),
+                solos=np.array(
+                    [consts[i][1] * contentions[i] for i in unsolved]
+                ),
+                fbrs=np.array([consts[i][2] for i in unsolved]),
+                interference=self.profiles.interference,
+                existing_fbrs=np.array(
+                    [
+                        existing_fbr
+                        if inc is not None and pool[i].name == inc
+                        else 0.0
+                        for i in unsolved
+                    ]
+                ),
+                max_coresidents=np.array([consts[i][3] for i in unsolved]),
+                solo_singles=np.array([consts[i][4] for i in unsolved]),
+            )
+            t_col[idx] = t_best
+            y_col[idx] = y_best
+            co_run_col[idx] = k_best
+            occ_col[idx] = occ_best
+            if len(row_cache) >= 16384:
+                row_cache.clear()
+            for j, i in enumerate(unsolved):
+                hw = pool[i]
+                ef_i = (
+                    existing_fbr
+                    if inc is not None and hw.name == inc
+                    else 0.0
+                )
+                row_cache[(hw.name, n_future, ef_i, contentions[i])] = (
+                    float(t_best[j]),
+                    float(y_best[j]),
+                    float(k_best[j]),
+                    float(occ_best[j]),
+                )
+
+        table = CandidateTable(
+            specs=tuple(pool),
+            least_t_max=t_col,
+            best_y=y_col,
+            cost_per_hour=cost_col,
+            co_run=co_run_col,
+            occupancy=occ_col,
+        )
+        entry = [table, None]
+        if len(self._table_cache) >= 4096:
+            self._table_cache.clear()
+        self._table_cache[key] = entry
+        return entry
 
     # ------------------------------------------------------------------
     # choose_best_HW (Algorithm 1 step e)
@@ -305,19 +677,32 @@ class HardwareSelector:
             # Keep the incumbent in the comparison: its (in)feasibility is
             # what emergency escalation is judged against.
             pool.append(current_hw)
-        evaluations = [
-            self.evaluate(
-                hw,
-                n_future,
-                # Residency only burdens the node that actually holds it: a
-                # candidate we would switch to starts empty.
-                existing_fbr=existing_fbr
-                if current_hw is not None and hw.name == current_hw.name
-                else 0.0,
+        budget = self.slo_seconds * self.latency_budget_fraction
+        if self.vectorized:
+            entry = self._table_entry(
+                pool, n_future, current_hw, existing_fbr
             )
-            for hw in pool
-        ]
-        chosen = self.choose_best(evaluations)
+            table = entry[0]
+            if entry[1] is None:
+                entry[1] = table.choose_best_index(
+                    budget, self.perf_slack_seconds
+                )
+            chosen = table.specs[entry[1]]
+        else:
+            evaluations = [
+                self.evaluate(
+                    hw,
+                    n_future,
+                    # Residency only burdens the node that actually holds
+                    # it: a candidate we would switch to starts empty.
+                    existing_fbr=existing_fbr
+                    if current_hw is not None and hw.name == current_hw.name
+                    else 0.0,
+                )
+                for hw in pool
+            ]
+            chosen = self.choose_best(evaluations)
+            table = CandidateTable.from_evaluations(evaluations)
 
         switch = False
         emergency = False
@@ -329,19 +714,15 @@ class HardwareSelector:
             # Emergency: the node we are on cannot meet the SLO for the
             # predicted load.  The wait_ctr exists to damp cost-driven
             # churn, not to sit through an active violation risk.
-            budget = self.slo_seconds * self.latency_budget_fraction
-            current_eval = next(
-                (
-                    e
-                    for e in evaluations
-                    if current_hw is not None and e.hw.name == current_hw.name
-                ),
-                None,
+            cur_idx = (
+                table.index_of(current_hw.name)
+                if current_hw is not None
+                else None
             )
             emergency = (
                 escalating
-                and current_eval is not None
-                and current_eval.least_t_max > budget
+                and cur_idx is not None
+                and float(table.least_t_max[cur_idx]) > budget
             )
             limit = self.wait_limit if escalating else self.wait_limit_down
             if current_hw is None or emergency or self._wait_ctr >= limit:
@@ -367,22 +748,14 @@ class HardwareSelector:
                 wait_limit_down=self.wait_limit_down,
                 slo_budget=self.slo_seconds * self.latency_budget_fraction,
                 perf_slack=self.perf_slack_seconds,
-                candidates=[
-                    {
-                        "hw": e.hw.name,
-                        "least_t_max": e.least_t_max,
-                        "best_y": e.best_y,
-                        "cost_per_hour": e.cost,
-                    }
-                    for e in evaluations
-                ],
+                candidates=table.as_trace_rows(),
             )
         if switch:
             self._wait_ctr = 0
             self.switches_requested += 1
         return SelectionOutcome(
             chosen=chosen,
-            evaluations=evaluations,
+            table=table,
             switch_requested=switch,
             predicted_rps=rate,
         )

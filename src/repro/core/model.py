@@ -32,7 +32,13 @@ import numpy as np
 
 from repro.simulator.interference import DEFAULT_INTERFERENCE, InterferenceModel
 
-__all__ = ["SplitDecision", "optimal_split", "t_max_curve", "cpu_t_max"]
+__all__ = [
+    "SplitDecision",
+    "optimal_split",
+    "optimal_split_batch",
+    "t_max_curve",
+    "cpu_t_max",
+]
 
 
 @dataclass(frozen=True)
@@ -100,30 +106,64 @@ def t_max_curve(
     if existing_queue < 0:
         raise ValueError("existing_queue cannot be negative")
     y_arr = np.asarray(y, dtype=np.float64)
+    t, _k, _tf = _t_grid(
+        y_arr, n, batch_size, solo, fbr, interference,
+        existing_fbr, existing_queue, solo_single,
+    )
+    return t
+
+
+def _t_grid(
+    y_arr: np.ndarray,
+    n: int,
+    batch_size: float,
+    solo: float,
+    fbr: float,
+    interference: InterferenceModel,
+    existing_fbr: float,
+    existing_queue: int,
+    solo_single: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared Equation-(1) kernel: ``(T_max, k, total_fbr)`` over
+    candidate ``y``.
+
+    ``y_arr`` must already be float64; scalar parameters broadcast, so the
+    same expression serves the 1-D per-candidate sweep and the 2-D
+    ``(C, n+1)`` candidate grid (column-shaped parameters).  Every
+    elementwise operation matches the pre-fusion ``t_max_curve`` bit for
+    bit — shared subexpressions are reused, never reassociated.
+    """
     n_spatial = n - y_arr
-    k = np.ceil(n_spatial / batch_size)  # co-located batches
+    ns_over_bs = n_spatial / batch_size
+    k = np.ceil(ns_over_bs)  # co-located batches
     # Aggregate demand uses the paper's continuous form
     # ((N - y)/BS) * FBR: partial batches demand proportionally less
     # bandwidth, so the expression needs no per-batch rounding.
-    total_fbr = existing_fbr + (n_spatial / batch_size) * fbr
+    total_fbr = existing_fbr + ns_over_bs * fbr
     # The paper's proportional-fraction approximation on both phases,
     # floored by the single-request execution time: a partial batch still
     # pays the fixed per-batch overhead (solo_single), so requests can
     # never "cost" less than one real execution.
+    queue_depth = (existing_queue + y_arr) if existing_queue else y_arr
     queued = np.where(
         y_arr > 0,
-        np.maximum(solo_single, solo * ((existing_queue + y_arr) / batch_size)),
+        np.maximum(solo_single, solo * (queue_depth / batch_size)),
         0.0,
     )
-    with np.errstate(invalid="ignore", divide="ignore"):
-        batch_frac = np.where(k > 0, n_spatial / (k * batch_size), 0.0)
+    kpos = k > 0
+    batch_frac = np.divide(
+        n_spatial, k * batch_size, out=np.zeros_like(k), where=kpos
+    )
     spatial_base = np.maximum(solo_single, solo * batch_frac)
+    slowdown = getattr(interference, "_slowdown_raw", None)
+    if slowdown is None:  # ablation models only implement the public API
+        slowdown = interference.slowdown_array
     spatial = np.where(
-        k > 0,
-        spatial_base * interference.slowdown_array(total_fbr),
+        kpos,
+        spatial_base * slowdown(total_fbr),
         0.0,
     )
-    return queued + spatial
+    return queued + spatial, k, total_fbr
 
 
 def optimal_split(
@@ -186,12 +226,14 @@ def optimal_split(
     y = np.arange(0, n + 1, max(1, int(y_step)), dtype=np.int64)
     if y[-1] != n:
         y = np.append(y, n)
-    t = t_max_curve(
-        y, n, batch_size, solo, fbr, interference,
-        existing_fbr=existing_fbr, existing_queue=existing_queue,
-        solo_single=solo_single,
+    if n < 0 or batch_size < 1 or solo <= 0 or fbr < 0:
+        raise ValueError("invalid model parameters")
+    if existing_queue < 0:
+        raise ValueError("existing_queue cannot be negative")
+    t, k, _tf = _t_grid(
+        y.astype(np.float64), n, batch_size, solo, fbr, interference,
+        existing_fbr, existing_queue, solo_single,
     )
-    k = np.ceil((n - y) / batch_size)
     if max_coresident is not None:
         t = np.where(k <= max_coresident, t, np.inf)
     if max_total_fbr is not None:
@@ -215,6 +257,86 @@ def optimal_split(
         n=n,
         batch_size=batch_size,
     )
+
+
+def optimal_split_batch(
+    n: int,
+    batch_sizes: np.ndarray,
+    solos: np.ndarray,
+    fbrs: np.ndarray,
+    interference: InterferenceModel = DEFAULT_INTERFERENCE,
+    existing_fbrs: Optional[np.ndarray] = None,
+    max_coresidents: Optional[np.ndarray] = None,
+    solo_singles: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Solve Equation (1) for *many candidates at once* on a 2-D grid.
+
+    This is the columnar twin of per-candidate :func:`optimal_split` calls
+    with ``existing_queue=0`` and no ``max_total_fbr`` cap — exactly the
+    shape of Algorithm 1's candidate scan.  Candidate parameters arrive as
+    parallel arrays of length ``C``; the solver broadcasts them against the
+    shared ``y = 0..n`` sweep into one ``(C, n+1)`` grid and reduces with
+    ``argmin`` per row.
+
+    Bit-identity contract: every elementwise operation below replicates
+    :func:`t_max_curve`'s expression structure and operation order, so each
+    grid element carries the *identical IEEE-754 bits* a per-candidate 1-D
+    sweep would produce, and ``np.argmin`` resolves ties by first index in
+    both shapes.  The golden-trace suite holds the vectorized selector to
+    this contract against the scalar seed path.
+
+    Returns
+    -------
+    (t_best, y_best, k_best, occupancy_best):
+        Per-candidate arrays: minimal T_max, its ``y``, the implied
+        co-located batch count (co-run level), and the planned aggregate
+        FBR (occupancy) at that ``y``.  Rows with no finite split get
+        ``t_best = inf`` and ``y_best = n - 1`` (matching the scalar
+        degenerate-guard).
+    """
+    bs = np.asarray(batch_sizes, dtype=np.float64)
+    if n < 0 or np.any(bs < 1):
+        raise ValueError("invalid model parameters")
+    solos = np.asarray(solos, dtype=np.float64)
+    fbrs = np.asarray(fbrs, dtype=np.float64)
+    c = bs.shape[0]
+    if n <= 0:
+        zero = np.zeros(c)
+        return zero, np.zeros(c, dtype=np.int64), zero, zero.copy()
+    ef = (
+        np.zeros(c)
+        if existing_fbrs is None
+        else np.asarray(existing_fbrs, dtype=np.float64)
+    )
+    ss = (
+        np.zeros(c)
+        if solo_singles is None
+        else np.asarray(solo_singles, dtype=np.float64)
+    )
+    y = np.arange(0, n + 1, dtype=np.int64)
+    # --- t_max_curve, broadcast to (C, n+1); op order preserved ---------
+    # Column-shaped candidate parameters against the shared row-shaped
+    # y-sweep: each grid row carries the bits its 1-D sweep would.
+    t, k, total_fbr = _t_grid(
+        y.astype(np.float64), n, bs[:, None], solos[:, None],
+        fbrs[:, None], interference, ef[:, None], 0, ss[:, None],
+    )
+    # --- optimal_split's feasibility mask and argmin reduction ----------
+    if max_coresidents is not None:
+        mc = np.asarray(max_coresidents, dtype=np.float64)
+        t = np.where(k <= mc[:, None], t, np.inf)
+    i = np.argmin(t, axis=1)
+    rows = np.arange(c)
+    t_best = t[rows, i]
+    y_best = y[i]
+    k_best = k[rows, i]
+    occupancy_best = total_fbr[rows, i]
+    bad = ~np.isfinite(t_best)
+    if bad.any():
+        y_best = np.where(bad, n - 1, y_best)
+        k_best = np.where(bad, 0.0, k_best)
+        occupancy_best = np.where(bad, ef, occupancy_best)
+    return t_best, y_best, k_best, occupancy_best
 
 
 def cpu_t_max(

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 from repro.baselines.base import PlannedBatch, Policy, WindowPlan
 from repro.framework.batching import carve_sizes
+from repro.core._reference_model import reference_optimal_split
 from repro.core.hardware_selection import HardwareSelector
 from repro.core.model import optimal_split
 from repro.core.predictor import EWMAPredictor, RatePredictor
@@ -42,6 +43,10 @@ class PaldiaPolicy(Policy):
         ~4 s).
     latency_budget_fraction:
         Fraction of the SLO that predicted T_max may consume.
+    vectorized:
+        Run the columnar/memoised hot path (default).  ``False`` restores
+        the seed's uncached scalar scan and per-call Equation-(1) solves —
+        the oracle the golden bit-identity suite compares against.
     """
 
     name = "paldia"
@@ -59,9 +64,12 @@ class PaldiaPolicy(Policy):
         plan_horizon_seconds: float = 0.1,
         latency_budget_fraction: float = 0.85,
         occupancy_cap_knees: float = 2.0,
+        vectorized: bool = True,
     ) -> None:
         super().__init__(model, profiles, slo_seconds)
         self.predictor = predictor if predictor is not None else EWMAPredictor()
+        self.vectorized = bool(vectorized)
+        self._memoize_profiles = self.vectorized
         self.selector = HardwareSelector(
             model=model,
             profiles=profiles,
@@ -73,9 +81,16 @@ class PaldiaPolicy(Policy):
             wait_limit=wait_limit,
             wait_limit_down=wait_limit_down,
             latency_budget_fraction=latency_budget_fraction,
+            vectorized=vectorized,
         )
         self.latency_budget_fraction = float(latency_budget_fraction)
         self.occupancy_cap_knees = float(occupancy_cap_knees)
+        #: Memoised Equation-(1) decisions and their carved plans, keyed
+        #: on the exact solve inputs that vary at run time.  Residency
+        #: (``existing_fbr``) is quantised (multiples of the per-hw FBR)
+        #: and queues are small integers, so steady traffic hits the same
+        #: handful of keys; plans are frozen values, safe to share.
+        self._split_cache: dict[tuple, tuple] = {}
 
     def bind_tracer(self, tracer) -> None:
         super().bind_tracer(tracer)
@@ -131,20 +146,49 @@ class PaldiaPolicy(Policy):
                 ),
                 y=n,
             )
-        decision = optimal_split(
-            n=n,
-            batch_size=batch,
-            solo=self._effective_solo(hw, batch),
-            fbr=self.profiles.fbr(self.model, hw),
-            slo_seconds=self.slo_seconds * self.latency_budget_fraction,
-            interference=self.profiles.interference,
-            existing_fbr=existing_fbr,
-            existing_queue=existing_queue,
-            max_coresident=self.profiles.max_coresident(self.model, hw),
-            max_total_fbr=self.occupancy_cap_knees
-            * self.profiles.interference.knee,
-            solo_single=self.profiles.solo_time(self.model, hw, 1),
-        )
+        solo = self._effective_solo(hw, batch)
+        key = (hw.name, n, batch, solo, existing_fbr, existing_queue)
+        cached = self._split_cache.get(key) if self.vectorized else None
+        if cached is not None:
+            decision, plan = cached
+        else:
+            # Reference mode pays the seed's exact per-call solve cost;
+            # both solvers return bit-identical decisions.
+            solver = optimal_split if self.vectorized else reference_optimal_split
+            decision = solver(
+                n=n,
+                batch_size=batch,
+                solo=solo,
+                fbr=self.profiles.fbr(self.model, hw),
+                slo_seconds=self.slo_seconds * self.latency_budget_fraction,
+                interference=self.profiles.interference,
+                existing_fbr=existing_fbr,
+                existing_queue=existing_queue,
+                max_coresident=self.profiles.max_coresident(self.model, hw),
+                max_total_fbr=self.occupancy_cap_knees
+                * self.profiles.interference.knee,
+                solo_single=self.profiles.solo_time(self.model, hw, 1),
+            )
+            spatial_sizes = carve_sizes(decision.n_spatial, batch)
+            temporal_sizes = carve_sizes(decision.y, batch)
+            plan = WindowPlan(
+                batches=tuple(
+                    [
+                        PlannedBatch(size=s, mode=ShareMode.SPATIAL)
+                        for s in spatial_sizes
+                    ]
+                    + [
+                        PlannedBatch(size=s, mode=ShareMode.TEMPORAL)
+                        for s in temporal_sizes
+                    ]
+                ),
+                y=decision.y,
+                predicted_t_max=decision.t_max,
+            )
+            if self.vectorized:
+                if len(self._split_cache) >= 4096:
+                    self._split_cache.clear()
+                self._split_cache[key] = (decision, plan)
         if self.tracer.enabled:
             self.tracer.event(
                 "job_distribution.split",
@@ -160,12 +204,4 @@ class PaldiaPolicy(Policy):
                 existing_fbr=existing_fbr,
                 existing_queue=existing_queue,
             )
-        spatial_sizes = carve_sizes(decision.n_spatial, batch)
-        temporal_sizes = carve_sizes(decision.y, batch)
-        batches = tuple(
-            [PlannedBatch(size=s, mode=ShareMode.SPATIAL) for s in spatial_sizes]
-            + [PlannedBatch(size=s, mode=ShareMode.TEMPORAL) for s in temporal_sizes]
-        )
-        return WindowPlan(
-            batches=batches, y=decision.y, predicted_t_max=decision.t_max
-        )
+        return plan

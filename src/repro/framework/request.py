@@ -47,7 +47,7 @@ class ShareMode:
     TEMPORAL = "temporal"
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchBreakdown:
     """Where a batch's end-to-end latency went, in seconds.
 
@@ -104,9 +104,13 @@ class BatchBreakdown:
         }
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Batch:
     """A group of requests executed together.
+
+    Slotted: one instance per sub-batch on the hot path; ``__slots__``
+    drops the per-instance ``__dict__`` (the request representation is
+    already columnar — ``arrivals`` is the per-request state).
 
     Parameters
     ----------

@@ -37,7 +37,7 @@ import numpy as np
 from repro.baselines.base import Policy, WindowPlan
 from repro.core.autoscaler import Autoscaler, containers_for_split
 from repro.core.resilience import ResilienceConfig, ResilienceController
-from repro.framework.batching import DispatchWindow, window_groups
+from repro.framework.batching import DispatchWindow, WindowTable
 from repro.core.predictor import EWMAPredictor, RateTracker
 from repro.framework.request import Batch, ShareMode
 from repro.framework.slo import SLO
@@ -301,6 +301,12 @@ class ServerlessRun:
         self._reconfig_gen = 0
         self._failed_specs: set[str] = set()
         self._pending_windows: list[DispatchWindow] = []
+        #: Columnar arrival plan walked by the pump (set in ``_setup``).
+        self._window_table: Optional[WindowTable] = None
+        self._window_idx = 0
+        #: Memoised per-(hardware, batch size) submission constants —
+        #: solo time, FBR, and memory footprint are pure profile lookups.
+        self._submit_consts: dict[tuple[str, int], tuple[float, float, float]] = {}
         self.n_switches = 0
         self.switch_log: list[tuple[float, str, str]] = []
         #: node_ids this run leased (in a shared cluster, the lane's own
@@ -428,12 +434,20 @@ class ServerlessRun:
             for hw in self.profiles.catalog.gpus()
         ]
         chunk = max([b for b in gpu_batches if b > 0], default=self.model.max_batch)
-        for window in window_groups(
+        # Columnar arrival plan + pump: instead of one pre-scheduled event
+        # per window, the whole plan lives in one WindowTable and a single
+        # walking callback delivers every window sharing a dispatch
+        # timestamp in one engine event, then re-arms itself for the next
+        # distinct timestamp.  Engine-queue traffic drops from O(windows)
+        # events at setup to one live event.
+        self._window_table = WindowTable.plan(
             self.trace.arrivals, cfg.batch_window_seconds, max(1, chunk)
-        ):
+        )
+        self._window_idx = 0
+        if len(self._window_table):
             self.sim.schedule_at(
-                window.dispatch_at,
-                lambda w=window: self._on_window(w),
+                float(self._window_table.dispatch_at[0]),
+                self._pump_windows,
                 priority=10,
             )
 
@@ -795,6 +809,26 @@ class ServerlessRun:
     # ------------------------------------------------------------------
     # Dispatch path
     # ------------------------------------------------------------------
+    def _pump_windows(self) -> None:
+        """Deliver every dispatch window due *now*, then re-arm.
+
+        Windows in the :class:`WindowTable` are sorted by dispatch time,
+        so all rows sharing the current timestamp are consecutive; they
+        are delivered in plan order within this one engine event (the same
+        relative order the per-window scheduling gave them)."""
+        table = self._window_table
+        i = self._window_idx
+        n = len(table)
+        t = table.dispatch_at[i]
+        while i < n and table.dispatch_at[i] == t:
+            self._on_window(table.window(i))
+            i += 1
+        self._window_idx = i
+        if i < n:
+            self.sim.schedule_at(
+                float(table.dispatch_at[i]), self._pump_windows, priority=10
+            )
+
     def _on_window(self, window: DispatchWindow) -> None:
         # Disabled-profiler contract: bare `is None` branches, no calls.
         prof = self.selfprof
@@ -854,15 +888,19 @@ class ServerlessRun:
             self._chaos is not None and self._chaos.mps_down
         ) or (degraded and self.config.resilience.degrade_force_temporal)
         cap = self.config.resilience.degraded_batch_cap if degraded else None
+        # Device-state inputs are read outside the batch.plan frame: they
+        # are dispatch-side queries, not policy planning work.
+        fbr_now = self._existing_fbr(node)
+        queue_now = node.device.queued_requests()
         prof = self.selfprof
         if prof is not None:
             prof.push("batch.plan")
         plan = self.policy.plan_window(
             window.n,
             node.spec,
-            self._existing_fbr(node),
+            fbr_now,
             now,
-            existing_queue=node.device.queued_requests(),
+            existing_queue=queue_now,
         )
         if prof is not None:
             prof.pop()
@@ -938,9 +976,16 @@ class ServerlessRun:
 
     def _submit(self, batch: Batch, node: NodeInstance, pool) -> None:
         spec = node.spec
-        solo = self.profiles.solo_time(self.model, spec, batch.size)
-        fbr = self.profiles.fbr(self.model, spec) if spec.is_gpu else 0.0
-        mem = self.model.mem_gb_per_batch * (batch.size / self.model.max_batch)
+        consts = self._submit_consts.get((spec.name, batch.size))
+        if consts is None:
+            consts = (
+                self.profiles.solo_time(self.model, spec, batch.size),
+                self.profiles.fbr(self.model, spec) if spec.is_gpu else 0.0,
+                self.model.mem_gb_per_batch
+                * (batch.size / self.model.max_batch),
+            )
+            self._submit_consts[(spec.name, batch.size)] = consts
+        solo, fbr, mem = consts
         slowdown = (
             self._chaos.slowdown_factor if self._chaos is not None else 1.0
         )
@@ -1011,14 +1056,16 @@ class ServerlessRun:
                 if self._reconfig_target is not None
                 else self._current.spec
             )
+            fbr_now = self._existing_fbr(self._current)
+            backlog_now = self._backlog(self._current)
             prof = self.selfprof
             if prof is not None:
                 prof.push("select.choose_best_HW")
             desired = self.policy.desired_hardware(
                 now,
                 reference,
-                self._existing_fbr(self._current),
-                backlog_requests=self._backlog(self._current),
+                fbr_now,
+                backlog_requests=backlog_now,
                 is_available=self._is_available,
             )
             if prof is not None:

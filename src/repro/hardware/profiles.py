@@ -89,6 +89,14 @@ class ProfileService:
     #: a device serving rate ``r`` sees batches of ``r * window`` requests,
     #: so per-batch fixed overhead bounds throughput at small windows.
     dispatch_window_seconds: float = 0.075
+    #: Memoised sweet-spot goodputs per (model, slo) — pure functions of
+    #: the profiles, recomputed for the catalog's cost order and for the
+    #: degenerate-pool fallback.  ``get_hw_pool`` runs every monitoring
+    #: tick with a continuously-varying rate, but the rate only enters a
+    #: final comparison; everything profiled is cacheable.
+    _pool_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Primitive profiled quantities
@@ -228,22 +236,31 @@ class ProfileService:
         """
         if predicted_rps < 0:
             raise ValueError("predicted rate cannot be negative")
-        pool = []
-        for hw in self.catalog.by_cost():
-            sweet = self.sweet_spot_rps(model, hw, slo_seconds)
-            margin = headroom if hw.is_gpu else cpu_headroom
-            if sweet > 0.0 and sweet >= predicted_rps * margin:
-                pool.append(hw)
-        if not pool:
-            best = min(
+        key = (model, slo_seconds)
+        cached = self._pool_cache.get(key)
+        if cached is None:
+            sweets = [
+                (hw, self.sweet_spot_rps(model, hw, slo_seconds))
+                for hw in self.catalog.by_cost()
+            ]
+            fallback = min(
                 self.catalog,
                 key=lambda h: (
                     -self.sweet_spot_rps(model, h, slo_seconds),
                     h.price_per_hour,
                 ),
             )
-            pool = [best]
-        return pool
+            cached = (sweets, fallback)
+            self._pool_cache[key] = cached
+        sweets, fallback = cached
+        pool = [
+            hw
+            for hw, sweet in sweets
+            if sweet > 0.0
+            and sweet
+            >= predicted_rps * (headroom if hw.is_gpu else cpu_headroom)
+        ]
+        return pool if pool else [fallback]
 
     def capable(
         self,

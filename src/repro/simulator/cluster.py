@@ -31,7 +31,7 @@ __all__ = ["NodeInstance", "Cluster", "LeaseRecord"]
 Device = Union[GPUDevice, CPUDevice]
 
 
-@dataclass
+@dataclass(slots=True)
 class LeaseRecord:
     """One node lease interval, for cost/power accounting."""
 
@@ -53,7 +53,21 @@ class NodeInstance:
     weights).  The node exposes the union of the device and pool interfaces
     the framework needs, plus busy-time so power/utilization reports can be
     produced per node.
+
+    Slotted: a run leases many short-lived nodes, and the framework walks
+    them on hot paths (occupancy probes, drain checks).
     """
+
+    __slots__ = (
+        "sim",
+        "spec",
+        "node_id",
+        "device",
+        "_pools",
+        "available",
+        "spawn_delay_fn",
+        "costmeter",
+    )
 
     _ids = 0
 

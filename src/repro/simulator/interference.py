@@ -86,6 +86,12 @@ class InterferenceModel:
         s = np.asarray(total_fbr, dtype=np.float64)
         if np.any(s < 0):
             raise ValueError("total FBR cannot be negative")
+        return self._slowdown_raw(s)
+
+    def _slowdown_raw(self, s: np.ndarray) -> np.ndarray:
+        """:meth:`slowdown_array` minus conversion and validation, for the
+        Equation-(1) solvers whose demands are non-negative float64 by
+        construction.  Same expression, bit-identical output."""
         ratio = s / self.knee
         out = np.where(
             ratio <= 1.0,

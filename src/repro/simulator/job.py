@@ -16,9 +16,12 @@ from repro.framework.request import Batch, ShareMode
 __all__ = ["Job"]
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Job:
     """A batch plus its execution parameters on a specific device.
+
+    Slotted: jobs are the densest allocation on the hot path (one per
+    sub-batch), and ``__slots__`` removes the per-instance ``__dict__``.
 
     Attributes
     ----------

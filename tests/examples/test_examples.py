@@ -50,6 +50,27 @@ class TestExamples:
         assert "provider totals" in out
         assert "bert" in out
 
+    def test_million_user_trace_smoke(self, capsys):
+        # 1/20th-day slice of the full-day trace (~50k requests) with the
+        # same peak rate as the 1M-request default.  The ceiling is a
+        # coarse anti-quadratic guard, not a benchmark: the vectorized
+        # core clears it by >10x; a hot path regressing to per-request
+        # Python work would blow through it.
+        import time
+
+        mod = run_example("million_user_trace.py")
+        t0 = time.perf_counter()
+        mod["main"](
+            ["--requests", "50000", "--duration", "4320", "--self-profile"]
+        )
+        wall = time.perf_counter() - t0
+        out = capsys.readouterr().out
+        assert "requests over 1.2 h" in out
+        assert "sim throughput" in out
+        assert "self-profile:" in out
+        assert "batch.plan" in out
+        assert wall < 60.0, f"50k-request smoke took {wall:.1f}s (ceiling 60s)"
+
     def test_slo_attribution(self, capsys):
         mod = run_example("slo_attribution.py")
         mod["main"]()
