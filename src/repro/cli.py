@@ -21,11 +21,17 @@ Commands
     run's headline metrics to the SQLite run ledger.
 ``compare MODEL [...]``
     All schemes side by side on the same trace.
-``experiment ID [--no-cache] [--cache-dir DIR] [...]``
+``experiment ID [--no-cache] [--cache-dir DIR] [--executor E]
+    [--cell-retries N] [--cell-timeout S] [--on-cell-failure fail|skip]
+    [--resume] [--prom-out F.prom] [...]``
     Regenerate one paper figure/table (fig1, fig3, ..., table3, ablations).
     The available IDs derive from the experiment registry
     (:mod:`repro.experiments.registry`); matrix cells are replayed from
     the on-disk result cache when their content hash is unchanged.
+    Execution is pluggable (serial, local process pool, or seeded
+    chaos-injection wrappers) with per-cell retry, wall-clock timeouts,
+    and a durable run journal enabling ``--resume`` after an
+    interruption — see ``docs/EXECUTION.md``.
 ``profile [MODEL] [--scheme S] [--trace T] [--duration D] [--seed N]
     [--json F] [--speedscope F] [--collapsed F] [--alloc] [--top N]``
     Run one scenario under the hierarchical self-profiler
@@ -98,9 +104,18 @@ from repro.analysis.trace_diff import diff_traces, render_trace_diff
 from repro.analysis.trace_report import render_trace_report
 from repro.experiments import table2
 from repro.experiments.cache import (
+    CACHE_METRICS,
     DEFAULT_CACHE_DIR,
     ResultCache,
     set_active_cache,
+)
+from repro.experiments.executors import (
+    EXECUTOR_METRICS,
+    EXECUTOR_NAMES,
+    CellExecutionError,
+    CellFaultPolicy,
+    ExecutionSettings,
+    set_active_execution,
 )
 from repro.experiments.registry import (
     all_experiments,
@@ -301,6 +316,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
         help=f"result-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    p.add_argument(
+        "--executor", default="auto",
+        choices=("auto",) + EXECUTOR_NAMES,
+        help="matrix execution backend (default: auto — serial for "
+        "small matrices, a local process pool otherwise; chaos-* "
+        "variants inject deterministic faults for testing)",
+    )
+    p.add_argument(
+        "--cell-retries", type=int, default=None, metavar="N",
+        help="retry each failing matrix cell up to N times (crash, "
+        "timeout, and exception faults are classified and retried with "
+        "decorrelated-jitter backoff; default: no retries)",
+    )
+    p.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget; stragglers past it are "
+        "abandoned and retried (default: no timeout)",
+    )
+    p.add_argument(
+        "--on-cell-failure", default="fail", choices=("fail", "skip"),
+        help="after retries are exhausted: 'fail' aborts the "
+        "experiment, 'skip' records the hole and continues "
+        "(summaries touching a holed cell still refuse loudly)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from its run journal: "
+        "journaled cells replay from the result cache, only the "
+        "remainder is recomputed",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed for the chaos-* executors' fault draws",
+    )
+    p.add_argument(
+        "--prom-out", metavar="FILE", default=None,
+        help="write executor + cache counters (retries, timeouts, "
+        "worker crashes, hits, misses) as a Prometheus text-format "
+        "snapshot",
     )
 
     p = sub.add_parser(
@@ -654,18 +709,87 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _resume_command(args) -> str:
+    """The exact command that resumes an interrupted experiment."""
+    parts = ["python -m repro experiment", args.experiment_id, "--resume"]
+    if args.duration != 300.0:
+        parts.append(f"--duration {args.duration:g}")
+    if args.repetitions != 2:
+        parts.append(f"--repetitions {args.repetitions}")
+    if args.seed:
+        parts.append(f"--seed {args.seed}")
+    if args.cache_dir != DEFAULT_CACHE_DIR:
+        parts.append(f"--cache-dir {args.cache_dir}")
+    if args.executor != "auto":
+        parts.append(f"--executor {args.executor}")
+    if args.chaos_seed:
+        parts.append(f"--chaos-seed {args.chaos_seed}")
+    if args.cell_retries is not None:
+        parts.append(f"--cell-retries {args.cell_retries}")
+    if args.cell_timeout is not None:
+        parts.append(f"--cell-timeout {args.cell_timeout:g}")
+    if args.on_cell_failure != "fail":
+        parts.append(f"--on-cell-failure {args.on_cell_failure}")
+    return " ".join(parts)
+
+
+def _execution_settings(args) -> ExecutionSettings:
+    policy = None
+    if args.cell_retries is not None or args.cell_timeout is not None:
+        policy = CellFaultPolicy(
+            max_attempts=(
+                args.cell_retries + 1 if args.cell_retries is not None else 1
+            ),
+            cell_timeout_seconds=args.cell_timeout,
+            seed=args.seed,
+        )
+    return ExecutionSettings(
+        executor=None if args.executor == "auto" else args.executor,
+        fault_policy=policy,
+        on_cell_failure=args.on_cell_failure,
+        journal=not args.no_cache,
+        resume=args.resume,
+        chaos_seed=args.chaos_seed,
+    )
+
+
+def _write_experiment_prom(path: str) -> None:
+    from repro.telemetry.prometheus import to_prometheus_text
+
+    text = to_prometheus_text(EXECUTOR_METRICS)
+    text += to_prometheus_text(CACHE_METRICS)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    emit(f"wrote executor + cache counters to {path}")
+
+
 def _cmd_experiment(args) -> int:
     entry = get_experiment(args.experiment_id)
+    if args.cell_retries is not None and args.cell_retries < 0:
+        logger.error("--cell-retries must be non-negative")
+        return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     previous = set_active_cache(cache)
+    previous_exec = set_active_execution(_execution_settings(args))
     try:
         reports = entry.reports(
             duration=args.duration,
             repetitions=args.repetitions,
             seed=args.seed,
         )
+    except KeyboardInterrupt:
+        emit("interrupted — resume with:")
+        emit(f"  {_resume_command(args)}")
+        return 130
+    except CellExecutionError as exc:
+        logger.error("experiment aborted: %s", exc)
+        if cache is not None:
+            emit("completed cells are cached and journaled — resume with:")
+            emit(f"  {_resume_command(args)}")
+        return 1
     finally:
         set_active_cache(previous)
+        set_active_execution(previous_exec)
     for i, report in enumerate(reports):
         if i:
             emit("")
@@ -679,6 +803,16 @@ def _cmd_experiment(args) -> int:
             f"cache: replayed {cache.n_hits}/{cache.n_hits + cache.n_misses} "
             f"cells from {cache.cache_dir}"
         )
+    retries = EXECUTOR_METRICS.counter("executor.cell_retry").value
+    timeouts = EXECUTOR_METRICS.counter("executor.cell_timeout").value
+    crashes = EXECUTOR_METRICS.counter("executor.worker_crash").value
+    if retries or timeouts or crashes:
+        emit(
+            f"executor: {int(retries)} retries, {int(timeouts)} timeouts, "
+            f"{int(crashes)} worker crashes survived"
+        )
+    if args.prom_out:
+        _write_experiment_prom(args.prom_out)
     return 0
 
 
@@ -847,6 +981,11 @@ def _cmd_runs(args) -> int:
                 )
             if r.cache_hits or r.cache_misses:
                 kv["cache"] = f"{r.cache_hits} hits, {r.cache_misses} misses"
+            if r.cell_retries or r.cell_timeouts or r.worker_crashes:
+                kv["executor faults"] = (
+                    f"{r.cell_retries} retries, {r.cell_timeouts} "
+                    f"timeouts, {r.worker_crashes} worker crashes"
+                )
             emit(render_kv(kv, title=f"run #{r.run_id}"))
             return 0
         # compare

@@ -26,6 +26,18 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentReport, PAPER_CLAIMS
 from repro.experiments.cache import ResultCache, get_active_cache, set_active_cache
+from repro.experiments.executors import (
+    CellExecutionError,
+    CellFaultPolicy,
+    ChaosExecutor,
+    ExecutionSettings,
+    LocalPoolExecutor,
+    SerialExecutor,
+    get_active_execution,
+    make_executor,
+    set_active_execution,
+)
+from repro.experiments.journal import RunJournal, matrix_fingerprint
 from repro.experiments.registry import (
     ExperimentEntry,
     all_experiments,
@@ -37,11 +49,15 @@ from repro.experiments.runner import CellSpec, MatrixResult, run_cell, run_matri
 from repro.experiments.schemes import SCHEMES, make_policy
 
 __all__ = [
-    "CellSpec", "ExperimentEntry", "ExperimentReport", "MatrixResult",
-    "PAPER_CLAIMS", "ResultCache", "SCHEMES", "ablations",
+    "CellExecutionError", "CellFaultPolicy", "CellSpec", "ChaosExecutor",
+    "ExecutionSettings", "ExperimentEntry", "ExperimentReport",
+    "LocalPoolExecutor", "MatrixResult", "PAPER_CLAIMS", "ResultCache",
+    "RunJournal", "SCHEMES", "SerialExecutor", "ablations",
     "all_experiments", "experiment_ids", "fig01", "fig03", "fig04",
     "fig05", "fig06", "fig07", "fig08", "fig09_10", "fig11", "fig12",
-    "fig13", "get_active_cache", "get_experiment", "make_policy",
+    "fig13", "get_active_cache", "get_active_execution", "get_experiment",
+    "make_executor", "make_policy", "matrix_fingerprint",
     "register_experiment", "resilience", "run_cell", "run_matrix",
-    "set_active_cache", "sweeps", "table2", "table3",
+    "set_active_cache", "set_active_execution", "sweeps", "table2",
+    "table3",
 ]

@@ -209,10 +209,13 @@ class ResultCache:
         self._misses = reg.counter("experiment_cache.misses")
         self._stores = reg.counter("experiment_cache.stores")
         self._corrupt = reg.counter("experiment_cache.corrupt_entries")
+        self._io_errors = reg.counter("experiment_cache.io_errors")
         self.n_hits = 0
         self.n_misses = 0
         self.n_stores = 0
         self.n_corrupt = 0
+        self.n_io_errors = 0
+        self._warned_io = False
 
     # -- keys ----------------------------------------------------------
     @property
@@ -226,6 +229,19 @@ class ResultCache:
 
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], key + ".pkl")
+
+    def _note_io_error(self, action: str, path: str, exc: OSError) -> None:
+        """A full disk or bad permissions must degrade caching, never
+        abort the experiment.  Warn once, then stay quiet."""
+        self.n_io_errors += 1
+        self._io_errors.inc()
+        if not self._warned_io:
+            logger.warning(
+                "result cache cannot %s %s (%s); continuing without "
+                "caching (further cache I/O errors are silenced)",
+                action, path, exc,
+            )
+            self._warned_io = True
 
     # -- lookups -------------------------------------------------------
     def get(self, spec: Any) -> Optional[Any]:
@@ -250,6 +266,13 @@ class ResultCache:
             self.n_misses += 1
             self._misses.inc()
             return None
+        except OSError as exc:
+            # Permission/IO trouble reading the entry: a miss, not a
+            # corruption — the entry may be fine, we just can't see it.
+            self._note_io_error("read", path, exc)
+            self.n_misses += 1
+            self._misses.inc()
+            return None
         except Exception as exc:  # corrupted / truncated / wrong schema
             logger.warning("dropping corrupted cache entry %s: %s", path, exc)
             self.n_corrupt += 1
@@ -267,24 +290,37 @@ class ResultCache:
 
     def put(self, spec: Any, result: Any) -> bool:
         """Store ``result`` under ``spec``'s key; returns ``False`` for
-        uncacheable specs.  Writes are atomic (temp file + rename)."""
+        uncacheable specs and for entries that could not be written
+        (disk full, bad permissions — warned once, never fatal).
+        Writes are atomic (temp file + rename), so concurrent writers
+        racing on the same key both land a complete entry."""
         key = self.key(spec)
         if key is None:
             return False
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), suffix=".tmp"
-        )
+        tmp: Optional[str] = None
         try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump({"schema": _SCHEMA, "result": result}, fh)
             os.replace(tmp, path)
+        except OSError as exc:
+            if tmp is not None:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+            self._note_io_error("write", path, exc)
+            return False
         except Exception:
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
+            if tmp is not None:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
             raise
         self.n_stores += 1
         self._stores.inc()
@@ -298,6 +334,7 @@ class ResultCache:
             "misses": self.n_misses,
             "stores": self.n_stores,
             "corrupt_entries": self.n_corrupt,
+            "io_errors": self.n_io_errors,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

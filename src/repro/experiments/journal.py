@@ -1,0 +1,278 @@
+"""Durable run manifest: a JSONL journal of completed matrix cells.
+
+The content-addressed result cache answers "has this exact cell ever
+been computed"; the journal answers "which cells did *this particular
+sweep* finish, and how".  Together they make an interrupted matrix
+resumable: after a SIGINT or SIGKILL, re-running the same command with
+``--resume`` replays every journaled cell from the cache and computes
+only the remainder.
+
+Format (schema ``repro.journal/1``)
+-----------------------------------
+One JSON object per line.  The first line is the header::
+
+    {"schema": "repro.journal/1", "fingerprint": "...", "n_cells": 24,
+     "meta": {...}}
+
+``fingerprint`` is a digest over every cell's content key (the same
+salted keys the result cache uses), so a journal can never be resumed
+against a different matrix — or the same matrix under changed source.
+Subsequent lines record cell completions and terminal failures::
+
+    {"cell": 3, "key": "ab12...", "status": "done", "attempts": 1}
+    {"cell": 7, "key": null, "status": "failed", "kind": "crash",
+     "attempts": 3, "error": "..."}
+
+Lines are flushed as written, so a ``kill -9`` loses at most the cell
+in flight.  Loading tolerates a truncated final line (the kill case)
+and skips corrupted lines with one warning — a damaged manifest
+degrades to recomputing a few cells, never to aborting the sweep.
+
+Journals live next to the cache (``<cache_dir>/journals/<fp>.jsonl``)
+and are named by fingerprint, so ``--resume`` finds the right manifest
+from the command line alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from typing import IO, Any, Optional, Sequence
+
+__all__ = ["RunJournal", "journal_path", "matrix_fingerprint"]
+
+logger = logging.getLogger(__name__)
+
+SCHEMA = "repro.journal/1"
+
+#: Subdirectory of the result cache that holds journals.
+JOURNAL_SUBDIR = "journals"
+
+
+def matrix_fingerprint(cell_keys: Sequence[Optional[str]]) -> str:
+    """Digest identifying one matrix: the ordered cell content keys.
+
+    Uncacheable cells (key ``None``) contribute their position, so two
+    matrices differing only in uncacheable cells still differ.
+    """
+    digest = hashlib.sha256()
+    for i, key in enumerate(cell_keys):
+        digest.update(
+            (key if key is not None else f"uncacheable:{i}").encode()
+        )
+        digest.update(b"\0")
+    return digest.hexdigest()[:24]
+
+
+def journal_path(cache_dir: str, fingerprint: str) -> str:
+    return os.path.join(
+        cache_dir, JOURNAL_SUBDIR, f"{fingerprint}.jsonl"
+    )
+
+
+class RunJournal:
+    """Append-only JSONL record of one matrix run's cell completions.
+
+    Parameters
+    ----------
+    path:
+        Journal file (created with its directory on first write).
+    fingerprint / n_cells:
+        Identity of the matrix being journaled; an existing file with a
+        different identity is rotated aside, never silently reused.
+    resume:
+        Load completions from an existing matching journal (``True``)
+        or rotate it and start a fresh record of this run (``False``).
+    meta:
+        Extra header fields (experiment id, argv) for humans and
+        ``tools/inspect_journal.py``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fingerprint: str,
+        n_cells: int,
+        resume: bool = False,
+        meta: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.n_cells = n_cells
+        self.meta = dict(meta or {})
+        #: Cell index -> recorded line for completed cells.
+        self.done: dict[int, dict[str, Any]] = {}
+        #: Cell index -> recorded line for terminally failed cells.
+        self.failed: dict[int, dict[str, Any]] = {}
+        self.n_corrupt_lines = 0
+        self._fh: Optional[IO[str]] = None
+
+        if os.path.exists(path):
+            if resume and self._load_existing():
+                return
+            self._rotate()
+
+    # ------------------------------------------------------------------
+    # Loading / recovery
+    # ------------------------------------------------------------------
+    def _load_existing(self) -> bool:
+        """Parse an existing journal; ``False`` when it belongs to a
+        different matrix (caller rotates it)."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            logger.warning("cannot read journal %s: %s", self.path, exc)
+            return False
+        if not lines:
+            return False
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            logger.warning(
+                "journal %s has a corrupted header; starting fresh",
+                self.path,
+            )
+            return False
+        if (
+            not isinstance(header, dict)
+            or header.get("schema") != SCHEMA
+            or header.get("fingerprint") != self.fingerprint
+            or header.get("n_cells") != self.n_cells
+        ):
+            logger.warning(
+                "journal %s does not match this matrix "
+                "(different cells or changed source); starting fresh",
+                self.path,
+            )
+            return False
+        for raw in lines[1:]:
+            if not raw.strip():
+                continue
+            try:
+                entry = json.loads(raw)
+                index = int(entry["cell"])
+                status = entry["status"]
+            except (ValueError, KeyError, TypeError):
+                # Truncated final line after a kill -9, or bit rot:
+                # recompute that cell instead of refusing the manifest.
+                self.n_corrupt_lines += 1
+                continue
+            if status == "done":
+                self.failed.pop(index, None)
+                self.done[index] = entry
+            elif status == "failed":
+                if index not in self.done:
+                    self.failed[index] = entry
+        if self.n_corrupt_lines:
+            logger.warning(
+                "journal %s: skipped %d corrupted line(s); the affected "
+                "cells will be recomputed",
+                self.path, self.n_corrupt_lines,
+            )
+        return True
+
+    def _rotate(self) -> None:
+        stale = self.path + ".stale"
+        try:
+            os.replace(self.path, stale)
+            logger.debug("rotated stale journal to %s", stale)
+        except OSError as exc:
+            logger.warning(
+                "cannot rotate stale journal %s (%s); overwriting",
+                self.path, exc,
+            )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _append(self, entry: dict[str, Any]) -> None:
+        try:
+            if self._fh is None:
+                fresh = not os.path.exists(self.path)
+                os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+                if fresh:
+                    header = {
+                        "schema": SCHEMA,
+                        "fingerprint": self.fingerprint,
+                        "n_cells": self.n_cells,
+                        "meta": self.meta,
+                    }
+                    self._fh.write(
+                        json.dumps(header, separators=(",", ":")) + "\n"
+                    )
+            self._fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+            self._fh.flush()
+        except OSError as exc:
+            # A full disk must degrade resumability, not abort the sweep.
+            if self._fh is not None or not getattr(self, "_warned", False):
+                logger.warning(
+                    "journal write to %s failed (%s); the sweep continues "
+                    "but will not be resumable past this point",
+                    self.path, exc,
+                )
+                self._warned = True
+            self._fh = None
+
+    def mark_done(
+        self, index: int, key: Optional[str], attempts: int = 1
+    ) -> None:
+        entry = {
+            "cell": index, "key": key, "status": "done",
+            "attempts": attempts,
+        }
+        self.failed.pop(index, None)
+        self.done[index] = entry
+        self._append(entry)
+
+    def mark_failed(
+        self,
+        index: int,
+        key: Optional[str],
+        *,
+        kind: str,
+        attempts: int,
+        error: str = "",
+    ) -> None:
+        entry = {
+            "cell": index, "key": key, "status": "failed",
+            "kind": kind, "attempts": attempts, "error": error,
+        }
+        self.failed[index] = entry
+        self._append(entry)
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_done(self) -> int:
+        return len(self.done)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunJournal({self.path!r}, {self.n_done}/{self.n_cells} done)"
+        )

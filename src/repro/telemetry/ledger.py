@@ -41,8 +41,9 @@ __all__ = [
 DEFAULT_LEDGER_PATH = ".repro-ledger.sqlite"
 
 #: v2 added wall_seconds / top_phase / top_phase_share (self-profiling);
-#: v3 added the cost-meter columns (idle/cold-start dollars, $/1k).
-SCHEMA_VERSION = 3
+#: v3 added the cost-meter columns (idle/cold-start dollars, $/1k);
+#: v4 added the executor fault columns (retries, timeouts, crashes).
+SCHEMA_VERSION = 4
 
 #: Columns added since v1, applied to older files on open.
 _MIGRATIONS = (
@@ -52,6 +53,9 @@ _MIGRATIONS = (
     "idle_cost REAL NOT NULL DEFAULT 0",
     "coldstart_cost REAL NOT NULL DEFAULT 0",
     "cost_per_1k_requests REAL NOT NULL DEFAULT 0",
+    "cell_retries INTEGER NOT NULL DEFAULT 0",
+    "cell_timeouts INTEGER NOT NULL DEFAULT 0",
+    "worker_crashes INTEGER NOT NULL DEFAULT 0",
 )
 
 _SCHEMA = """
@@ -86,7 +90,10 @@ CREATE TABLE IF NOT EXISTS runs (
     top_phase_share REAL NOT NULL DEFAULT 0,
     idle_cost       REAL NOT NULL DEFAULT 0,
     coldstart_cost  REAL NOT NULL DEFAULT 0,
-    cost_per_1k_requests REAL NOT NULL DEFAULT 0
+    cost_per_1k_requests REAL NOT NULL DEFAULT 0,
+    cell_retries    INTEGER NOT NULL DEFAULT 0,
+    cell_timeouts   INTEGER NOT NULL DEFAULT 0,
+    worker_crashes  INTEGER NOT NULL DEFAULT 0
 );
 """
 
@@ -140,6 +147,12 @@ class RunRecord:
     idle_cost: float = 0.0
     coldstart_cost: float = 0.0
     cost_per_1k_requests: float = 0.0
+    #: Executor fault columns (v4; 0 for rows recorded before, or for
+    #: runs that never hit a fault): cell retries, cell timeouts, and
+    #: worker crashes survived while producing this row.
+    cell_retries: int = 0
+    cell_timeouts: int = 0
+    worker_crashes: int = 0
 
 
 @dataclass(frozen=True)
@@ -267,6 +280,9 @@ class RunLedger:
         extra: Optional[dict[str, Any]] = None,
         top_phase: Optional[str] = None,
         top_phase_share: float = 0.0,
+        cell_retries: int = 0,
+        cell_timeouts: int = 0,
+        worker_crashes: int = 0,
     ) -> int:
         """Persist one run's summary; returns the new row id.
 
@@ -296,9 +312,10 @@ class RunLedger:
                     p99_seconds, total_cost, cold_starts, n_switches,
                     cache_hits, cache_misses, extra_json,
                     wall_seconds, top_phase, top_phase_share,
-                    idle_cost, coldstart_cost, cost_per_1k_requests
+                    idle_cost, coldstart_cost, cost_per_1k_requests,
+                    cell_retries, cell_timeouts, worker_crashes
                 ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
-                          ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                          ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 """,
                 (
                     created,
@@ -327,6 +344,9 @@ class RunLedger:
                     float(idle_cost),
                     float(coldstart_cost),
                     float(cost_per_1k),
+                    int(cell_retries),
+                    int(cell_timeouts),
+                    int(worker_crashes),
                 ),
             )
         return int(cur.lastrowid)
@@ -364,6 +384,9 @@ class RunLedger:
             idle_cost=row["idle_cost"] or 0.0,
             coldstart_cost=row["coldstart_cost"] or 0.0,
             cost_per_1k_requests=row["cost_per_1k_requests"] or 0.0,
+            cell_retries=row["cell_retries"] or 0,
+            cell_timeouts=row["cell_timeouts"] or 0,
+            worker_crashes=row["worker_crashes"] or 0,
         )
 
     def list_runs(self, limit: Optional[int] = None) -> list[RunRecord]:

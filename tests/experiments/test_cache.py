@@ -67,6 +67,7 @@ class TestResultCache:
         assert cache.get(spec) == {"payload": 42}
         assert cache.stats == {
             "hits": 1, "misses": 1, "stores": 1, "corrupt_entries": 0,
+            "io_errors": 0,
         }
 
     def test_salt_invalidates_entries(self, tmp_path):
@@ -170,3 +171,47 @@ class TestMatrixCaching:
         assert (m.cache_hits, m.cache_misses) == (1, 1)
         assert m.results[0].total_cost == small.results[0].total_cost
         assert all(r is not None for r in m.results)
+
+
+class TestHardening:
+    """Disk trouble degrades caching; it never aborts an experiment."""
+
+    def test_store_failure_warns_once_and_continues(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        import logging
+        import tempfile
+
+        cache = ResultCache(str(tmp_path))
+
+        def disk_full(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(tempfile, "mkstemp", disk_full)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert cache.put(_spec(), "a") is False
+            assert cache.put(_spec(seed=2), "b") is False
+        assert cache.n_io_errors == 2
+        assert cache.n_stores == 0
+        warned = [r for r in caplog.records
+                  if "result cache cannot" in r.message]
+        assert len(warned) == 1  # warn once, then stay quiet
+
+    def test_unreadable_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = _spec()
+        assert cache.put(spec, "payload")
+        path = cache._path(cache.key(spec))
+        os.remove(path)
+        os.makedirs(path)  # open(path, "rb") now raises IsADirectoryError
+        assert cache.get(spec) is None
+        assert cache.n_io_errors == 1
+        assert cache.stats["io_errors"] == 1
+
+    def test_concurrent_writers_last_replace_wins(self, tmp_path):
+        a = ResultCache(str(tmp_path))
+        b = ResultCache(str(tmp_path))
+        spec = _spec()
+        assert a.put(spec, "first")
+        assert b.put(spec, "second")  # atomic replace, no torn entry
+        assert ResultCache(str(tmp_path)).get(spec) == "second"

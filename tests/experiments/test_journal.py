@@ -1,0 +1,145 @@
+"""Tests for the durable JSONL run journal (checkpoint/resume)."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.journal import (
+    RunJournal,
+    journal_path,
+    matrix_fingerprint,
+)
+
+
+KEYS = ["a" * 64, "b" * 64, None, "c" * 64]
+FP = matrix_fingerprint(KEYS)
+
+
+def _journal(path, **kw):
+    kw.setdefault("fingerprint", FP)
+    kw.setdefault("n_cells", len(KEYS))
+    return RunJournal(str(path), **kw)
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert matrix_fingerprint(KEYS) == matrix_fingerprint(list(KEYS))
+        assert len(FP) == 24
+
+    def test_sensitive_to_order_and_content(self):
+        assert matrix_fingerprint(KEYS[::-1]) != FP
+        assert matrix_fingerprint(KEYS[:-1]) != FP
+
+    def test_uncacheable_position_matters(self):
+        assert matrix_fingerprint([None, "x"]) != matrix_fingerprint(
+            ["x", None]
+        )
+
+
+class TestRoundTrip:
+    def test_write_then_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as j:
+            j.mark_done(0, KEYS[0])
+            j.mark_done(2, None, attempts=3)
+            j.mark_failed(1, KEYS[1], kind="crash", attempts=2, error="x")
+        j2 = _journal(path, resume=True)
+        assert set(j2.done) == {0, 2}
+        assert j2.done[2]["attempts"] == 3
+        assert set(j2.failed) == {1}
+        assert j2.failed[1]["kind"] == "crash"
+        assert j2.n_done == 2
+
+    def test_later_done_supersedes_failed(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as j:
+            j.mark_failed(0, KEYS[0], kind="timeout", attempts=1)
+            j.mark_done(0, KEYS[0], attempts=2)
+        j2 = _journal(path, resume=True)
+        assert 0 in j2.done and 0 not in j2.failed
+
+    def test_header_written_once(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as j:
+            j.mark_done(0, KEYS[0])
+            j.mark_done(1, KEYS[1])
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro.journal/1"
+        assert header["fingerprint"] == FP
+        assert len(lines) == 3
+
+
+class TestRecovery:
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as j:
+            j.mark_done(0, KEYS[0])
+            j.mark_done(1, KEYS[1])
+        # Simulate kill -9 mid-write: chop the last line in half.
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) - 20])
+        j2 = _journal(path, resume=True)
+        assert 0 in j2.done
+        assert 1 not in j2.done  # recomputed, not crashed over
+        assert j2.n_corrupt_lines == 1
+
+    def test_corrupt_middle_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as j:
+            j.mark_done(0, KEYS[0])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{this is not json\n")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"cell": 3, "key": None, "status": "done",
+                                 "attempts": 1}) + "\n")
+        j2 = _journal(path, resume=True)
+        assert set(j2.done) == {0, 3}
+        assert j2.n_corrupt_lines == 1
+
+    def test_fingerprint_mismatch_rotates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as j:
+            j.mark_done(0, KEYS[0])
+        other = _journal(path, fingerprint="deadbeef" * 3, resume=True)
+        assert other.n_done == 0
+        assert os.path.exists(str(path) + ".stale")
+
+    def test_no_resume_rotates_existing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as j:
+            j.mark_done(0, KEYS[0])
+        fresh = _journal(path, resume=False)
+        assert fresh.n_done == 0
+        assert os.path.exists(str(path) + ".stale")
+
+    def test_corrupted_header_starts_fresh(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("garbage header\n")
+        j = _journal(path, resume=True)
+        assert j.n_done == 0
+
+    def test_write_failure_degrades_not_raises(self, tmp_path, caplog):
+        import logging
+
+        path = tmp_path / "sub" / "j.jsonl"
+        j = _journal(path)
+        j.mark_done(0, KEYS[0])  # opens the file lazily — works
+        j.close()
+        j._fh = None
+        # Point the journal somewhere unwritable: the path is a directory.
+        j.path = str(tmp_path / "adir")
+        os.makedirs(j.path)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            j.mark_done(1, KEYS[1])
+            j.mark_done(2, None)
+        warned = [r for r in caplog.records
+                  if "journal write" in r.message]
+        assert len(warned) == 1  # warn once, then stay quiet
+
+
+class TestPaths:
+    def test_journal_path_layout(self):
+        p = journal_path("/tmp/cache", "abc123")
+        assert p == "/tmp/cache/journals/abc123.jsonl"

@@ -129,3 +129,19 @@ class TestWorkerCount:
     def test_nonpositive_env_ignored(self, monkeypatch):
         monkeypatch.setenv("REPRO_MAX_WORKERS", "0")
         assert _worker_count(n_tasks=100, n_cpus=4) == 3
+
+    def test_negative_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "-3")
+        assert _worker_count(n_tasks=100, n_cpus=4) == 3
+
+    def test_env_whitespace_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "   ")
+        assert _worker_count(n_tasks=100, n_cpus=4) == 3
+
+    def test_float_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2.5")
+        assert _worker_count(n_tasks=100, n_cpus=4) == 3
+
+    def test_env_cap_larger_than_cells(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "64")
+        assert _worker_count(n_tasks=5, n_cpus=4) == 5

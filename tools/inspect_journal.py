@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Inspect experiment run journals (the ``--resume`` manifests).
+
+A run journal is the durable JSONL record ``run_matrix`` keeps next to
+the result cache (``<cache_dir>/journals/<fingerprint>.jsonl``): one
+header line identifying the matrix, then one line per completed or
+terminally failed cell (see :mod:`repro.experiments.journal`).  This
+tool answers "how far did the interrupted sweep get, and what killed
+the cells that failed" without re-running anything.
+
+Usage::
+
+    # Summarize every journal under a cache directory
+    python tools/inspect_journal.py .repro-cache
+
+    # Or one journal file, with the failed cells listed
+    python tools/inspect_journal.py .repro-cache/journals/<fp>.jsonl -v
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+JOURNAL_SUBDIR = "journals"
+
+
+def read_journal(path: str) -> dict:
+    """Parse one journal with the same tolerance the runtime loader has:
+    a truncated or corrupted line is counted, not fatal."""
+    header = None
+    done: dict[int, dict] = {}
+    failed: dict[int, dict] = {}
+    corrupt = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for i, raw in enumerate(fh.read().splitlines()):
+            if not raw.strip():
+                continue
+            try:
+                entry = json.loads(raw)
+            except ValueError:
+                corrupt += 1
+                continue
+            if i == 0:
+                header = entry if isinstance(entry, dict) else None
+                continue
+            try:
+                cell, status = int(entry["cell"]), entry["status"]
+            except (KeyError, TypeError, ValueError):
+                corrupt += 1
+                continue
+            if status == "done":
+                failed.pop(cell, None)
+                done[cell] = entry
+            elif status == "failed":
+                if cell not in done:
+                    failed[cell] = entry
+    return {
+        "path": path, "header": header, "done": done,
+        "failed": failed, "corrupt": corrupt,
+    }
+
+
+def render(j: dict, verbose: bool = False) -> str:
+    header = j["header"] or {}
+    n_cells = header.get("n_cells")
+    lines = [os.path.basename(j["path"])]
+    if header.get("schema"):
+        lines.append(f"  schema      {header['schema']}")
+        lines.append(f"  fingerprint {header.get('fingerprint', '?')}")
+    else:
+        lines.append("  (missing or corrupted header)")
+    total = f"/{n_cells}" if isinstance(n_cells, int) else ""
+    lines.append(f"  done        {len(j['done'])}{total}")
+    retried = sum(
+        1 for e in j["done"].values() if e.get("attempts", 1) > 1
+    )
+    if retried:
+        lines.append(f"  retried     {retried} cell(s) needed >1 attempt")
+    if j["failed"]:
+        kinds: dict[str, int] = {}
+        for e in j["failed"].values():
+            kinds[e.get("kind", "?")] = kinds.get(e.get("kind", "?"), 0) + 1
+        summary = ", ".join(f"{k}: {n}" for k, n in sorted(kinds.items()))
+        lines.append(f"  failed      {len(j['failed'])} ({summary})")
+        if verbose:
+            for cell, e in sorted(j["failed"].items()):
+                err = e.get("error", "")
+                lines.append(
+                    f"    cell {cell}: {e.get('kind', '?')} after "
+                    f"{e.get('attempts', '?')} attempt(s)"
+                    + (f" — {err}" if err else "")
+                )
+    if j["corrupt"]:
+        lines.append(f"  corrupt     {j['corrupt']} unparseable line(s)")
+    if isinstance(n_cells, int) and len(j["done"]) < n_cells:
+        lines.append(
+            f"  resume      {n_cells - len(j['done'])} cell(s) left — "
+            "re-run the experiment with --resume"
+        )
+    return "\n".join(lines)
+
+
+def find_journals(target: str) -> list[str]:
+    if os.path.isfile(target):
+        return [target]
+    candidates = []
+    sub = os.path.join(target, JOURNAL_SUBDIR)
+    root = sub if os.path.isdir(sub) else target
+    if os.path.isdir(root):
+        for name in sorted(os.listdir(root)):
+            if name.endswith(".jsonl"):
+                candidates.append(os.path.join(root, name))
+    return candidates
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "target",
+        help="a journal .jsonl file, a cache directory, or its "
+        "journals/ subdirectory",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="list every failed cell with its classification and error",
+    )
+    args = parser.parse_args(argv)
+    journals = find_journals(args.target)
+    if not journals:
+        print(f"no journals found under {args.target}", file=sys.stderr)
+        return 1
+    for i, path in enumerate(journals):
+        if i:
+            print()
+        print(render(read_journal(path), verbose=args.verbose))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
