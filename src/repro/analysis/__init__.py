@@ -36,12 +36,22 @@ from repro.analysis.timeline import (
     rate_sparkline,
     render_run_timeline,
 )
+from repro.analysis.request_forensics import (
+    exemplar_requests,
+    load_reqtrace,
+    phase_decomposition,
+    render_forensics_report,
+    render_waterfall,
+    render_waterfall_svg,
+    worst_requests,
+)
 from repro.analysis.trace_report import (
     BREAKDOWN_COMPONENTS,
     breakdown_totals,
     decision_rows,
     load_trace,
     render_trace_report,
+    slowest_request_rows,
     switch_rows,
 )
 from repro.analysis.stats import (
@@ -61,11 +71,15 @@ __all__ = [
     "SCHEME_LABELS", "TailBreakdown", "TraceDiff", "ViolationRecord",
     "attribute_trace", "breakdown_totals", "cdf_points",
     "compliance_percent", "cost_of_compliance", "decision_rows",
-    "diff_traces", "drop_outliers", "format_value", "hardware_timeline",
-    "load_trace", "mean_without_outliers", "normalize", "percentile",
-    "rate_sparkline", "render_attribution_html", "render_attribution_report",
-    "render_cost_report", "render_kv", "render_run_timeline", "render_table",
-    "render_trace_diff", "render_trace_report", "scheme_label",
-    "summarize_runs", "switch_rows", "tail_breakdown_of",
-    "write_attribution_json", "write_cost_frontier_svg", "write_cost_json",
+    "diff_traces", "drop_outliers", "exemplar_requests", "format_value",
+    "hardware_timeline", "load_reqtrace", "load_trace",
+    "mean_without_outliers", "normalize", "percentile",
+    "phase_decomposition", "rate_sparkline", "render_attribution_html",
+    "render_attribution_report", "render_cost_report",
+    "render_forensics_report", "render_kv", "render_run_timeline",
+    "render_table", "render_trace_diff", "render_trace_report",
+    "render_waterfall", "render_waterfall_svg", "scheme_label",
+    "slowest_request_rows", "summarize_runs", "switch_rows",
+    "tail_breakdown_of", "worst_requests", "write_attribution_json",
+    "write_cost_frontier_svg", "write_cost_json",
 ]

@@ -22,6 +22,7 @@ from typing import Any, Optional, Union
 
 from repro.analysis.report import render_kv, render_table
 from repro.telemetry.exporters import TraceData, read_jsonl, summary_counts
+from repro.telemetry.reqtrace import PHASES
 
 __all__ = [
     "BREAKDOWN_COMPONENTS",
@@ -30,20 +31,17 @@ __all__ = [
     "hardware_spans",
     "load_trace",
     "render_trace_report",
+    "slowest_request_rows",
     "switch_rows",
 ]
 
 #: The latency components, in stacking order (Figs 1 and 4, plus the
 #: ``failure_wait`` bucket the resilience layer charges failed dispatch
-#: attempts and straggler inflation to).
-BREAKDOWN_COMPONENTS: tuple[str, ...] = (
-    "batching_wait",
-    "cold_start_wait",
-    "queue_delay",
-    "exec_solo",
-    "interference_extra",
-    "failure_wait",
-)
+#: attempts and straggler inflation to).  Aliased to the request
+#: tracer's :data:`~repro.telemetry.reqtrace.PHASES` so the breakdown
+#: table, the attribution causes, and per-request waterfalls all cite
+#: one set of phase names.
+BREAKDOWN_COMPONENTS: tuple[str, ...] = PHASES
 
 
 def load_trace(path_or_data: Union[str, TraceData]) -> TraceData:
@@ -139,6 +137,73 @@ def hardware_spans(trace: Union[str, TraceData]) -> list[dict[str, Any]]:
     return rows
 
 
+def slowest_request_rows(
+    trace: Union[str, TraceData],
+    top_k: int,
+    reqtrace: Optional[Any] = None,
+) -> tuple[list[list[Any]], list[str], str]:
+    """The ``--top-k`` slowest-requests table, as ``(rows, headers, title)``.
+
+    With per-request trace data (a :class:`RequestTraceData` or a
+    ``repro.reqtrace/1`` JSONL path) each row is one *request* with its
+    full causal context — phases, peers, hardware, retries — fed by
+    :mod:`repro.analysis.request_forensics`.  Without it, the ranking
+    falls back to the latency-only view the run trace can support: the
+    slowest request *spans* (batches) by duration.  Both shapes render
+    through the same table machinery, so ``trace-report --top-k`` works
+    (and exits 0) whether or not the run recorded a request trace.
+    """
+    k = max(0, int(top_k))
+    if reqtrace is not None:
+        from repro.analysis.request_forensics import (
+            load_reqtrace,
+            worst_requests,
+        )
+        data = load_reqtrace(reqtrace)
+        rows = []
+        for v in worst_requests(data, k):
+            p = v.phases()
+            top_phase = max(p, key=lambda name: p[name])
+            rows.append([
+                v.rid,
+                round(v.latency * 1e3, 2),
+                v.batch.batch_id,
+                v.peers,
+                v.batch.hardware or "-",
+                v.batch.retries,
+                top_phase,
+                round(100 * p[top_phase] / v.latency, 1)
+                if v.latency > 0 else 0.0,
+                "yes" if v.violated else ("-" if v.violated is None else ""),
+            ])
+        return (
+            rows,
+            ["rid", "latency_ms", "batch", "peers", "hardware",
+             "retries", "top_phase", "top_%", "violated"],
+            f"slowest {len(rows)} requests (causal)",
+        )
+    data = load_trace(trace)
+    spans = sorted(
+        data.spans_in("request"),
+        key=lambda s: float(s.get("start", 0.0))
+        - float(s.get("end", 0.0)),
+    )[:k]
+    rows = [
+        [round((float(s.get("end", 0.0)) - float(s.get("start", 0.0)))
+               * 1e3, 2),
+         round(float(s.get("start", 0.0)), 2),
+         int(s.get("attrs", {}).get("n", 1)),
+         s.get("attrs", {}).get("hardware", "-")]
+        for s in spans
+    ]
+    return (
+        rows,
+        ["latency_ms", "start_s", "n_requests", "hardware"],
+        f"slowest {len(rows)} request spans (latency-only; run with "
+        "--reqtrace for causal waterfalls)",
+    )
+
+
 def _autoscaler_summary(data: TraceData) -> dict[str, int]:
     spawned = reaped = reactive = 0
     for e in data.events_named("autoscaler.tick"):
@@ -157,9 +222,17 @@ def _autoscaler_summary(data: TraceData) -> dict[str, int]:
 # Rendering
 # ----------------------------------------------------------------------
 def render_trace_report(
-    trace: Union[str, TraceData], max_decision_rows: int = 30
+    trace: Union[str, TraceData],
+    max_decision_rows: int = 30,
+    top_k: int = 0,
+    reqtrace: Optional[Any] = None,
 ) -> str:
-    """The full post-mortem: summary, breakdown, decisions, switches."""
+    """The full post-mortem: summary, breakdown, decisions, switches.
+
+    ``top_k > 0`` appends the slowest-requests table — causal (phase
+    context per request) when ``reqtrace`` data is given, latency-only
+    otherwise (see :func:`slowest_request_rows`).
+    """
     data = load_trace(trace)
     parts: list[str] = []
 
@@ -269,6 +342,13 @@ def render_trace_report(
                 title="node leases",
             )
         )
+
+    if top_k > 0:
+        rows, headers, title = slowest_request_rows(data, top_k, reqtrace)
+        if rows:
+            parts.append(render_table(headers, rows, title=title))
+        else:
+            parts.append("no request spans recorded (nothing to rank)")
 
     scaling = _autoscaler_summary(data)
     if any(scaling.values()):

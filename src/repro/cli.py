@@ -8,7 +8,8 @@ Commands
     [--chaos F.json] [--recovery MODE] [--trace-out F.jsonl]
     [--chrome-trace F.json] [--prom-out F.prom] [--profile-engine]
     [--self-profile] [--profile-out F.json]
-    [--live] [--timeseries-out F] [--ledger [DB]]``
+    [--live] [--timeseries-out F] [--ledger [DB]]
+    [--reqtrace] [--reqtrace-sample P] [--reqtrace-out F.jsonl]``
     Serve one workload with one scheme and print the headline metrics;
     optionally inject faults from a ChaosSpec JSON file, enable the
     resilience layer (deadline-aware retry + circuit breakers), and
@@ -44,9 +45,17 @@ Commands
 ``profile --diff BASELINE.json CANDIDATE.json``
     Compare two saved self-profiles: per-phase exclusive-time deltas,
     largest movers first.
-``trace-report FILE``
+``trace-report FILE [--top-k K] [--reqtrace F.jsonl]``
     Post-mortem a recorded JSONL trace: latency breakdown, Algorithm 1
-    decision audit, switches, leases.
+    decision audit, switches, leases.  ``--top-k`` appends the slowest
+    requests — with full causal context when a request trace is given,
+    latency-only otherwise.
+``request-trace FILE [--request RID | --worst K] [--svg F.svg]``
+    Tail-latency forensics over a ``repro.reqtrace/1`` request trace
+    (written by ``run --reqtrace-out``): per-phase P50/P99
+    decomposition across the fleet and causal waterfalls — one
+    request's by id, or the worst-K with an optional self-contained
+    SVG export.
 ``timeseries-report FILE [--width N] [--svg F.svg]``
     Render aligned per-metric panels (rate vs hardware, per-node
     occupancy, pools & control) from a saved time-series bundle.
@@ -301,6 +310,24 @@ def build_parser() -> argparse.ArgumentParser:
                 "edge-triggered budget_alert events when the projected "
                 "end-of-run spend crosses it (implies telemetry)",
             )
+            p.add_argument(
+                "--reqtrace", action="store_true",
+                help="record a per-request causal trace (phase "
+                "waterfalls, batch peers, retries, node churn) and "
+                "print the worst-request summary (implies telemetry)",
+            )
+            p.add_argument(
+                "--reqtrace-sample", type=float, metavar="P", default=1.0,
+                help="fraction of batches to retain in the request "
+                "trace (deterministic per seed; the worst batches are "
+                "always kept, so worst-K forensics stay exact; "
+                "default: 1.0)",
+            )
+            p.add_argument(
+                "--reqtrace-out", metavar="FILE",
+                help="write the request trace as repro.reqtrace/1 JSONL "
+                "here (implies --reqtrace; feed to request-trace)",
+            )
 
     p = sub.add_parser("experiment", parents=[common],
                        help="regenerate a paper figure/table")
@@ -404,6 +431,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace_file")
     p.add_argument("--max-rows", type=int, default=30,
                    help="decision-audit rows to show")
+    p.add_argument(
+        "--top-k", type=int, default=0, metavar="K",
+        help="also rank the K slowest requests (causal context with "
+        "--reqtrace, latency-only otherwise)",
+    )
+    p.add_argument(
+        "--reqtrace", metavar="FILE", dest="reqtrace_file", default=None,
+        help="repro.reqtrace/1 request trace backing the --top-k table "
+        "with per-request causal context",
+    )
+
+    p = sub.add_parser(
+        "request-trace", parents=[common],
+        help="tail forensics over a repro.reqtrace/1 request trace",
+    )
+    p.add_argument("reqtrace_file",
+                   help="request trace written by run --reqtrace-out")
+    p.add_argument(
+        "--request", type=int, metavar="RID", default=None,
+        help="show one request's causal waterfall by request id",
+    )
+    p.add_argument(
+        "--worst", type=int, metavar="K", default=10,
+        help="worst-K requests to show full waterfalls for "
+        "(default: 10; ignored with --request)",
+    )
+    p.add_argument(
+        "--svg", metavar="FILE", dest="svg_out",
+        help="also write the worst-K waterfalls as a self-contained "
+        "SVG here",
+    )
 
     p = sub.add_parser(
         "timeseries-report", parents=[common],
@@ -540,10 +598,11 @@ def _cmd_run(args) -> int:
     profiles = ProfileService()
     slo = SLO()
     trace = _TRACES[args.trace](model, args.duration, args.seed)
+    reqtrace = bool(args.reqtrace or args.reqtrace_out)
     tracing = bool(
         args.trace_out or args.chrome_trace or args.prom_out
         or args.live or args.timeseries_out or args.ledger
-        or args.budget is not None
+        or args.budget is not None or reqtrace
     )
     tracer = Tracer() if tracing else None
     profiler = EngineProfiler() if args.profile_engine else None
@@ -581,6 +640,8 @@ def _cmd_run(args) -> int:
             seed=args.seed,
             timeseries_interval_seconds=args.timeseries_interval,
             cost_budget_dollars=args.budget,
+            reqtrace=reqtrace,
+            reqtrace_sample=args.reqtrace_sample,
         )
     dashboard = None
     if args.live:
@@ -659,13 +720,53 @@ def _cmd_run(args) -> int:
                 f"wrote {n} time-series columns "
                 f"({run.sampler.n_samples} samples) to {args.timeseries_out}"
             )
+        worst_view = None
+        if result.reqtrace is not None:
+            worst = result.reqtrace.worst(1)
+            if worst:
+                worst_view = worst[0]
+                phases = worst_view.phases()
+                top_phase_name = max(phases, key=lambda n: phases[n])
+                emit("")
+                emit(render_kv(
+                    {
+                        "requests traced": (
+                            f"{result.reqtrace.n_requests_traced} of "
+                            f"{result.reqtrace.meta['n_requests_seen']}"
+                        ),
+                        "worst request": (
+                            f"#{worst_view.rid} "
+                            f"({worst_view.latency * 1e3:.1f} ms, "
+                            f"dominant phase {top_phase_name})"
+                        ),
+                    },
+                    title="request trace",
+                ))
+            if args.reqtrace_out:
+                n = result.reqtrace.save_jsonl(args.reqtrace_out)
+                emit(
+                    f"wrote {n} request-trace records to "
+                    f"{args.reqtrace_out} (inspect with: repro "
+                    f"request-trace {args.reqtrace_out})"
+                )
         if args.ledger:
             top = selfprof.top_phases(1) if selfprof is not None else []
+            worst_kwargs = {}
+            if worst_view is not None:
+                phases = worst_view.phases()
+                worst_kwargs = {
+                    "worst_request_id": worst_view.rid,
+                    "worst_request_latency": worst_view.latency,
+                    "worst_request_phase": max(
+                        phases, key=lambda n: phases[n]
+                    ),
+                }
             with RunLedger(args.ledger) as ledger:
                 run_id = ledger.record(
                     result, trace=args.trace, seed=args.seed,
                     top_phase=top[0][0] if top else None,
                     top_phase_share=top[0][1] if top else 0.0,
+                    **worst_kwargs,
                 )
             emit(f"recorded run #{run_id} in {args.ledger}")
     if profiler is not None:
@@ -889,9 +990,24 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_trace_report(args) -> int:
+    reqtrace = None
+    if args.top_k > 0 and args.reqtrace_file:
+        from repro.analysis.request_forensics import load_reqtrace
+
+        try:
+            reqtrace = load_reqtrace(args.reqtrace_file)
+        except (FileNotFoundError, ValueError) as exc:
+            # Absent/invalid request-trace data degrades the --top-k
+            # table to the latency-only ranking; the post-mortem itself
+            # still renders and the command still exits 0.
+            logger.warning(
+                "request trace unusable (%s); falling back to "
+                "latency-only ranking", exc,
+            )
     try:
         report = render_trace_report(
-            args.trace_file, max_decision_rows=args.max_rows
+            args.trace_file, max_decision_rows=args.max_rows,
+            top_k=args.top_k, reqtrace=reqtrace,
         )
     except FileNotFoundError:
         logger.error("trace file not found: %s", args.trace_file)
@@ -900,6 +1016,38 @@ def _cmd_trace_report(args) -> int:
         logger.error("not a valid trace file: %s", exc)
         return 1
     emit(report)
+    return 0
+
+
+def _cmd_request_trace(args) -> int:
+    from repro.analysis.request_forensics import (
+        load_reqtrace,
+        render_forensics_report,
+        render_waterfall,
+        render_waterfall_svg,
+    )
+
+    try:
+        data = load_reqtrace(args.reqtrace_file)
+    except FileNotFoundError:
+        logger.error("request trace not found: %s", args.reqtrace_file)
+        return 1
+    except ValueError as exc:
+        logger.error("not a valid request trace: %s", exc)
+        return 1
+    if args.request is not None:
+        try:
+            view = data.request(args.request)
+        except KeyError as exc:
+            logger.error("%s", exc.args[0])
+            return 1
+        emit(render_waterfall(view, data))
+    else:
+        emit(render_forensics_report(data, top_k=args.worst))
+    if args.svg_out:
+        with open(args.svg_out, "w", encoding="utf-8") as fh:
+            fh.write(render_waterfall_svg(data, top_k=args.worst))
+        emit(f"wrote worst-{args.worst} waterfall SVG to {args.svg_out}")
     return 0
 
 
@@ -985,6 +1133,12 @@ def _cmd_runs(args) -> int:
                 kv["executor faults"] = (
                     f"{r.cell_retries} retries, {r.cell_timeouts} "
                     f"timeouts, {r.worker_crashes} worker crashes"
+                )
+            if r.worst_request_id >= 0:
+                kv["worst request"] = (
+                    f"#{r.worst_request_id} "
+                    f"({r.worst_request_latency * 1e3:.1f} ms, "
+                    f"dominant phase {r.worst_request_phase or '-'})"
                 )
             emit(render_kv(kv, title=f"run #{r.run_id}"))
             return 0
@@ -1169,6 +1323,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "profile": _cmd_profile,
         "trace-report": _cmd_trace_report,
+        "request-trace": _cmd_request_trace,
         "timeseries-report": _cmd_timeseries_report,
         "runs": _cmd_runs,
         "trace-attribution": _cmd_trace_attribution,

@@ -165,10 +165,14 @@ class CircuitBreaker:
         policy: BreakerPolicy,
         *,
         tracer: Tracer = NULL_TRACER,
+        reqtrace=None,
     ) -> None:
         self.target = target
         self.policy = policy
         self.tracer = tracer
+        #: Optional :class:`~repro.telemetry.reqtrace.RequestTracer`;
+        #: ``None`` costs one ``is None`` branch per state transition.
+        self.reqtrace = reqtrace
         self.state = self.CLOSED
         self.consecutive_failures = 0
         self.opened_at: Optional[float] = None
@@ -181,6 +185,9 @@ class CircuitBreaker:
         if state == self.state:
             return
         self.state = state
+        rt = self.reqtrace
+        if rt is not None:
+            rt.on_breaker(self.target, state, now)
         if self.tracer.enabled:
             self.tracer.event(
                 f"breaker.{state}",
@@ -264,6 +271,10 @@ class ResilienceController:
         #: Self-profiler for retry planning; ``None`` keeps plan_retry on
         #: a bare `is None` branch.
         self.selfprof = selfprof
+        #: Optional :class:`~repro.telemetry.reqtrace.RequestTracer`
+        #: (assigned post-hoc by the framework's telemetry setup);
+        #: handed to every breaker created after assignment.
+        self.reqtrace = None
         self._rng = random.Random(config.seed)
         self._breakers: dict[str, CircuitBreaker] = {}
         # Counters (mirrored into the metrics registry by the framework).
@@ -278,7 +289,10 @@ class ResilienceController:
         b = self._breakers.get(target)
         if b is None:
             b = self._breakers[target] = CircuitBreaker(
-                target, self.config.breaker, tracer=self.tracer
+                target,
+                self.config.breaker,
+                tracer=self.tracer,
+                reqtrace=self.reqtrace,
             )
         return b
 

@@ -50,6 +50,7 @@ import tempfile
 import types
 from typing import Any, Optional
 
+from repro.telemetry._warn_once import WarnOnce
 from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = [
@@ -215,7 +216,11 @@ class ResultCache:
         self.n_stores = 0
         self.n_corrupt = 0
         self.n_io_errors = 0
-        self._warned_io = False
+        self._warn_io = WarnOnce(
+            logger,
+            "result cache cannot %s %s (%s); continuing without "
+            "caching (further cache I/O errors are silenced)",
+        )
 
     # -- keys ----------------------------------------------------------
     @property
@@ -235,13 +240,7 @@ class ResultCache:
         abort the experiment.  Warn once, then stay quiet."""
         self.n_io_errors += 1
         self._io_errors.inc()
-        if not self._warned_io:
-            logger.warning(
-                "result cache cannot %s %s (%s); continuing without "
-                "caching (further cache I/O errors are silenced)",
-                action, path, exc,
-            )
-            self._warned_io = True
+        self._warn_io.note(action, path, exc)
 
     # -- lookups -------------------------------------------------------
     def get(self, spec: Any) -> Optional[Any]:

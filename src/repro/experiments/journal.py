@@ -41,6 +41,8 @@ import logging
 import os
 from typing import IO, Any, Optional, Sequence
 
+from repro.telemetry._warn_once import WarnOnce
+
 __all__ = ["RunJournal", "journal_path", "matrix_fingerprint"]
 
 logger = logging.getLogger(__name__)
@@ -109,6 +111,11 @@ class RunJournal:
         self.failed: dict[int, dict[str, Any]] = {}
         self.n_corrupt_lines = 0
         self._fh: Optional[IO[str]] = None
+        self._warn_write = WarnOnce(
+            logger,
+            "journal write to %s failed (%s); the sweep continues "
+            "but will not be resumable past this point",
+        )
 
         if os.path.exists(path):
             if resume and self._load_existing():
@@ -209,13 +216,12 @@ class RunJournal:
             self._fh.flush()
         except OSError as exc:
             # A full disk must degrade resumability, not abort the sweep.
-            if self._fh is not None or not getattr(self, "_warned", False):
-                logger.warning(
-                    "journal write to %s failed (%s); the sweep continues "
-                    "but will not be resumable past this point",
-                    self.path, exc,
-                )
-                self._warned = True
+            # A failure while the handle was live is a fresh episode (the
+            # channel had recovered); re-failing an already-dead handle
+            # stays silent.
+            if self._fh is not None:
+                self._warn_write.rearm()
+            self._warn_write.note(self.path, exc)
             self._fh = None
 
     def mark_done(

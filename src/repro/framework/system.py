@@ -52,6 +52,7 @@ from repro.simulator.job import Job
 from repro.simulator.metrics import MetricsCollector
 from repro.simulator.power import cluster_energy_joules, node_energy_joules
 from repro.telemetry.costmeter import CostBreakdown, CostBudgetMonitor, CostMeter
+from repro.telemetry.reqtrace import RequestTraceData, RequestTracer
 from repro.telemetry.selfprof import RunProfiler
 from repro.telemetry.slo_monitor import SLOMonitor
 from repro.telemetry.timeseries import StateSampler
@@ -131,6 +132,20 @@ class RunConfig:
     cost_budget_window_seconds:
         Sliding-window width of the burn-rate estimate; ``<= 0``
         disables the budget monitor entirely.
+    reqtrace:
+        Record a per-request causal trace
+        (:class:`~repro.telemetry.reqtrace.RequestTracer`): phase
+        waterfalls per request id, batch peers, dispatch context,
+        retries, node churn.  Like the cost meter, the tracer only
+        exists when a :class:`Tracer` is enabled; disabled runs pay one
+        ``is None`` branch per hook site and stay bit-identical.
+    reqtrace_sample:
+        Fraction of batches retained in full (deterministic splitmix64
+        over ``(seed, batch_id)``); the ``reqtrace_tail_k`` worst
+        batches by first-arrival latency are always kept on top, so
+        worst-K forensics stay exact under sampling.
+    reqtrace_tail_k:
+        Size of the always-kept tail reservoir (0 disables it).
     """
 
     batch_window_seconds: float = 0.075
@@ -151,6 +166,9 @@ class RunConfig:
     cost_meter: bool = True
     cost_budget_dollars: Optional[float] = None
     cost_budget_window_seconds: float = 30.0
+    reqtrace: bool = False
+    reqtrace_sample: float = 1.0
+    reqtrace_tail_k: int = 64
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -203,6 +221,10 @@ class RunResult:
     )
     #: ``budget_alert`` transitions emitted by the cost budget monitor.
     budget_alerts: int = 0
+    #: Per-request causal trace (phase waterfalls, batch peers, retry
+    #: and node-churn events); only populated on traced runs with
+    #: ``RunConfig.reqtrace`` enabled.
+    reqtrace: Optional[RequestTraceData] = field(repr=False, default=None)
     #: (time, from_node, to_node) per completed traffic reroute.
     switch_log: list[tuple[float, str, str]] = field(default_factory=list)
     metrics: MetricsCollector = field(repr=False, default=None)  # type: ignore[assignment]
@@ -356,6 +378,11 @@ class ServerlessRun:
         #: Budget burn-rate watchdog over the meter; sampled from the
         #: telemetry tick when a meter exists and the window is positive.
         self.cost_monitor: Optional[CostBudgetMonitor] = None
+        #: Per-request causal tracer; installed on the cluster in
+        #: ``_setup_telemetry`` only when tracing is enabled and
+        #: ``config.reqtrace`` is set (shared-cluster lanes reuse the
+        #: first lane's tracer, each registering its own model SLO).
+        self.reqtrace: Optional[RequestTracer] = None
         self._executed = False
 
     # ------------------------------------------------------------------
@@ -580,6 +607,25 @@ class ServerlessRun:
                         self.trace.duration + self.config.drain_grace_seconds
                     ),
                 )
+        if self.config.reqtrace:
+            # Like the cost meter: _setup_telemetry runs before the
+            # initial acquire, so the tracer sees every lease.  In a
+            # shared cluster the first lane installs the tracer and
+            # later lanes reuse it; each lane registers its own model's
+            # SLO so per-request violation verdicts stay per-model.
+            if self.cluster.reqtrace is None:
+                self.cluster.reqtrace = RequestTracer(
+                    sample=self.config.reqtrace_sample,
+                    tail_k=self.config.reqtrace_tail_k,
+                    seed=self.config.seed,
+                )
+            self.reqtrace = self.cluster.reqtrace
+            self.reqtrace.register_model(
+                self.model.name, self.slo.target_seconds
+            )
+            if self.resilience is not None:
+                self.resilience.reqtrace = self.reqtrace
+            self.sim.add_run_end_hook(self.reqtrace.on_run_end)
         if self.config.timeseries_interval_seconds > 0:
             self._setup_timeseries()
         self.sim.schedule(
@@ -875,6 +921,9 @@ class ServerlessRun:
                         n=n_shed,
                         reason="deadline_passed",
                     )
+                rt = self.reqtrace
+                if rt is not None:
+                    rt.on_shed(now, None, n_shed, "deadline_passed")
                 kept = window.arrivals[~expired]
                 if kept.size == 0:
                     return
@@ -969,6 +1018,9 @@ class ServerlessRun:
             self._plan_retry(batch)
         elif recovery == "drop":
             self.requests_dropped += batch.size
+            rt = self.reqtrace
+            if rt is not None:
+                rt.on_drop(batch.batch_id, self.sim.now, batch.size)
         else:  # requeue (legacy): back into the pending queue
             self._pending_windows.append(
                 DispatchWindow(dispatch_at=self.sim.now, arrivals=batch.arrivals)
@@ -1005,6 +1057,9 @@ class ServerlessRun:
                     float(batch.started_at),
                     float(batch.completed_at),
                 )
+            rt = self.reqtrace
+            if rt is not None:
+                rt.on_batch_complete(batch, node.node_id)
             if self.tracer.enabled:
                 self.tracer.record_batch_span(batch)
                 self.tracer.metrics.histogram("request.latency_seconds").observe(
@@ -1337,6 +1392,10 @@ class ServerlessRun:
                     n=batch.size,
                     reason="deadline_passed",
                 )
+            rt = self.reqtrace
+            if rt is not None:
+                rt.on_shed(now, batch.batch_id, batch.size,
+                           "deadline_passed")
             return
         plan = res.plan_retry(
             now,
@@ -1353,6 +1412,11 @@ class ServerlessRun:
                     batch_id=batch.batch_id,
                     attempt=batch.retries + 1,
                     deadline=deadline,
+                )
+            rt = self.reqtrace
+            if rt is not None:
+                rt.on_retry_abandoned(
+                    batch.batch_id, now, "deadline_unreachable"
                 )
             return
         delay, backoff = plan
@@ -1406,6 +1470,11 @@ class ServerlessRun:
                 attempt=batch.retries,
                 deadline=deadline,
                 hardware=node.spec.name,
+            )
+        rt = self.reqtrace
+        if rt is not None:
+            rt.on_retry_dispatch(
+                batch.batch_id, batch.retries, now, node.spec.name
             )
         self._acquire_and_submit(batch, node)
 
@@ -1472,6 +1541,11 @@ class ServerlessRun:
         meter = self.costmeter
         if meter is not None:
             breakdown = meter.summarize(now, node_ids=self._owned_node_ids)
+        reqtrace_data = None
+        rt = self.reqtrace
+        if rt is not None:
+            rt.on_run_end(now)  # idempotent with the engine run-end hook
+            reqtrace_data = rt.data()
         budget_alerts = (
             self.cost_monitor.alerts_emitted
             if self.cost_monitor is not None
@@ -1541,6 +1615,7 @@ class ServerlessRun:
             requests_dropped=self.requests_dropped,
             cost_breakdown=breakdown,
             budget_alerts=budget_alerts,
+            reqtrace=reqtrace_data,
             switch_log=list(self.switch_log),
             metrics=self.metrics,
         )

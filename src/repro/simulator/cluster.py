@@ -190,6 +190,11 @@ class Cluster:
         #: acquired node (and its pools); ``None`` (the default) costs
         #: one ``is None`` branch per lease transition.
         self.costmeter = None
+        #: Optional :class:`~repro.telemetry.reqtrace.RequestTracer`
+        #: propagated to every subsequently acquired node's device so
+        #: execution starts carry hardware/co-run context; ``None`` (the
+        #: default) costs one ``is None`` branch per lease transition.
+        self.reqtrace = None
 
     # ------------------------------------------------------------------
     # Acquisition / release
@@ -228,6 +233,17 @@ class Cluster:
                 else self.sim.now + spec.provision_seconds
             )
             meter.on_acquire(node.node_id, spec, self.sim.now, ready_at)
+        rt = self.reqtrace
+        if rt is not None:
+            node.device.reqtrace = rt
+            ready_at = (
+                self.sim.now
+                if instant or spec.provision_seconds <= 0
+                else self.sim.now + spec.provision_seconds
+            )
+            rt.on_node_acquire(
+                node.node_id, spec.name, self.sim.now, ready_at, bool(instant)
+            )
         if self.tracer.enabled:
             self.tracer.event(
                 "node.acquire",
@@ -254,6 +270,9 @@ class Cluster:
         meter = self.costmeter
         if meter is not None:
             meter.on_release(node.node_id, self.sim.now)
+        rt = self.reqtrace
+        if rt is not None:
+            rt.on_node_release(node.node_id, self.sim.now)
         if self.tracer.enabled:
             now = self.sim.now
             self.tracer.event(

@@ -26,6 +26,10 @@ request's latency actually went.  This package records the path taken:
   past the run's dollar budget.
 * :mod:`~repro.telemetry.prometheus` — Prometheus text-format snapshot
   of the registry and the monitor windows.
+* :class:`~repro.telemetry.reqtrace.RequestTracer` — per-request causal
+  phase timelines (arrival → batching → cold start → queue → dispatch →
+  interference → retries → completion) feeding the tail-latency
+  forensics in :mod:`repro.analysis.request_forensics`.
 * :class:`~repro.telemetry.profiling.EngineProfiler` — per-callback-site
   wall-clock profiling of the discrete-event hot loop.
 * :class:`~repro.telemetry.selfprof.RunProfiler` — hierarchical
@@ -59,6 +63,15 @@ from repro.telemetry.costmeter import (
     ModelSpecCost,
 )
 from repro.telemetry.profiling import EngineProfiler
+from repro.telemetry.reqtrace import (
+    PHASES,
+    REQTRACE_SCHEMA,
+    BatchTrace,
+    RequestTraceData,
+    RequestTracer,
+    RequestView,
+    read_reqtrace,
+)
 from repro.telemetry.selfprof import (
     RunProfiler,
     diff_profiles,
@@ -85,6 +98,7 @@ from repro.telemetry.exporters import (
 )
 
 __all__ = [
+    "BatchTrace",
     "CostBreakdown",
     "CostBudgetMonitor",
     "CostMeter",
@@ -98,6 +112,11 @@ __all__ = [
     "MetricsRegistry",
     "ModelSpecCost",
     "NULL_TRACER",
+    "PHASES",
+    "REQTRACE_SCHEMA",
+    "RequestTraceData",
+    "RequestTracer",
+    "RequestView",
     "RunLedger",
     "RunProfiler",
     "RunRecord",
@@ -112,6 +131,7 @@ __all__ = [
     "diff_profiles",
     "load_profile",
     "read_jsonl",
+    "read_reqtrace",
     "read_timeseries",
     "render_profile_diff",
     "summary_counts",

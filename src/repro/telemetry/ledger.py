@@ -20,13 +20,18 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
+import logging
 import sqlite3
 import subprocess
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.telemetry._warn_once import WarnOnce
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.framework.system import RunResult
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "RunLedger",
@@ -42,8 +47,9 @@ DEFAULT_LEDGER_PATH = ".repro-ledger.sqlite"
 
 #: v2 added wall_seconds / top_phase / top_phase_share (self-profiling);
 #: v3 added the cost-meter columns (idle/cold-start dollars, $/1k);
-#: v4 added the executor fault columns (retries, timeouts, crashes).
-SCHEMA_VERSION = 4
+#: v4 added the executor fault columns (retries, timeouts, crashes);
+#: v5 added the worst-request forensics columns (request trace).
+SCHEMA_VERSION = 5
 
 #: Columns added since v1, applied to older files on open.
 _MIGRATIONS = (
@@ -56,6 +62,9 @@ _MIGRATIONS = (
     "cell_retries INTEGER NOT NULL DEFAULT 0",
     "cell_timeouts INTEGER NOT NULL DEFAULT 0",
     "worker_crashes INTEGER NOT NULL DEFAULT 0",
+    "worst_request_id INTEGER NOT NULL DEFAULT -1",
+    "worst_request_latency REAL NOT NULL DEFAULT 0",
+    "worst_request_phase TEXT",
 )
 
 _SCHEMA = """
@@ -93,7 +102,10 @@ CREATE TABLE IF NOT EXISTS runs (
     cost_per_1k_requests REAL NOT NULL DEFAULT 0,
     cell_retries    INTEGER NOT NULL DEFAULT 0,
     cell_timeouts   INTEGER NOT NULL DEFAULT 0,
-    worker_crashes  INTEGER NOT NULL DEFAULT 0
+    worker_crashes  INTEGER NOT NULL DEFAULT 0,
+    worst_request_id      INTEGER NOT NULL DEFAULT -1,
+    worst_request_latency REAL NOT NULL DEFAULT 0,
+    worst_request_phase   TEXT
 );
 """
 
@@ -153,6 +165,12 @@ class RunRecord:
     cell_retries: int = 0
     cell_timeouts: int = 0
     worker_crashes: int = 0
+    #: Worst-request forensics columns (v5; absent for rows recorded
+    #: before, or for runs without ``--reqtrace``): the slowest traced
+    #: request's id, end-to-end latency, and dominant causal phase.
+    worst_request_id: int = -1
+    worst_request_latency: float = 0.0
+    worst_request_phase: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -219,6 +237,11 @@ class RunLedger:
 
     def __init__(self, path: str = DEFAULT_LEDGER_PATH) -> None:
         self.path = path
+        self._warn_write = WarnOnce(
+            logger,
+            "ledger write to %s failed (%s); the run completed but is "
+            "not recorded (further ledger write errors are silenced)",
+        )
         self._conn = sqlite3.connect(path)
         self._conn.row_factory = sqlite3.Row
         with self._conn:
@@ -283,13 +306,23 @@ class RunLedger:
         cell_retries: int = 0,
         cell_timeouts: int = 0,
         worker_crashes: int = 0,
+        worst_request_id: int = -1,
+        worst_request_latency: float = 0.0,
+        worst_request_phase: Optional[str] = None,
     ) -> int:
-        """Persist one run's summary; returns the new row id.
+        """Persist one run's summary; returns the new row id, or ``-1``
+        when the write itself failed (see below).
 
         ``wall_seconds`` is read off the result; the hottest self-profile
         phase (``top_phase``/``top_phase_share``) is passed explicitly by
         callers that ran under a :class:`~repro.telemetry.selfprof.
-        RunProfiler`.
+        RunProfiler`, and the worst-request columns by callers that ran
+        with a request trace (``RunConfig.reqtrace``).
+
+        A failing write (read-only file, full disk, locked database)
+        degrades the ledger instead of aborting the run that produced
+        the result: the error is warned once per ledger and ``-1`` is
+        returned.
         """
         offered = result.offered_requests
         violations = offered - round(result.slo_compliance * offered)
@@ -302,53 +335,63 @@ class RunLedger:
         cost_per_1k = (
             result.total_cost / offered * 1000.0 if offered else 0.0
         )
-        with self._conn:
-            cur = self._conn.execute(
-                """
-                INSERT INTO runs (
-                    created_utc, git_sha, scheme, model, trace, seed,
-                    duration, slo_seconds, offered, completed,
-                    slo_compliance, violation_rate, p50_seconds,
-                    p99_seconds, total_cost, cold_starts, n_switches,
-                    cache_hits, cache_misses, extra_json,
-                    wall_seconds, top_phase, top_phase_share,
-                    idle_cost, coldstart_cost, cost_per_1k_requests,
-                    cell_retries, cell_timeouts, worker_crashes
-                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
-                          ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
-                """,
-                (
-                    created,
-                    sha if sha is not None else git_sha(),
-                    result.scheme,
-                    result.model,
-                    trace,
-                    int(seed),
-                    float(result.duration),
-                    float(result.slo_seconds),
-                    int(offered),
-                    int(result.completed_requests),
-                    float(result.slo_compliance),
-                    float(violations / offered) if offered else 0.0,
-                    float(result.p50_seconds),
-                    float(result.p99_seconds),
-                    float(result.total_cost),
-                    int(result.cold_starts),
-                    int(result.n_switches),
-                    int(cache_hits),
-                    int(cache_misses),
-                    json.dumps(extra or {}),
-                    float(getattr(result, "wall_seconds", 0.0)),
-                    top_phase,
-                    float(top_phase_share),
-                    float(idle_cost),
-                    float(coldstart_cost),
-                    float(cost_per_1k),
-                    int(cell_retries),
-                    int(cell_timeouts),
-                    int(worker_crashes),
-                ),
-            )
+        try:
+            with self._conn:
+                cur = self._conn.execute(
+                    """
+                    INSERT INTO runs (
+                        created_utc, git_sha, scheme, model, trace, seed,
+                        duration, slo_seconds, offered, completed,
+                        slo_compliance, violation_rate, p50_seconds,
+                        p99_seconds, total_cost, cold_starts, n_switches,
+                        cache_hits, cache_misses, extra_json,
+                        wall_seconds, top_phase, top_phase_share,
+                        idle_cost, coldstart_cost, cost_per_1k_requests,
+                        cell_retries, cell_timeouts, worker_crashes,
+                        worst_request_id, worst_request_latency,
+                        worst_request_phase
+                    ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
+                              ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
+                              ?, ?)
+                    """,
+                    (
+                        created,
+                        sha if sha is not None else git_sha(),
+                        result.scheme,
+                        result.model,
+                        trace,
+                        int(seed),
+                        float(result.duration),
+                        float(result.slo_seconds),
+                        int(offered),
+                        int(result.completed_requests),
+                        float(result.slo_compliance),
+                        float(violations / offered) if offered else 0.0,
+                        float(result.p50_seconds),
+                        float(result.p99_seconds),
+                        float(result.total_cost),
+                        int(result.cold_starts),
+                        int(result.n_switches),
+                        int(cache_hits),
+                        int(cache_misses),
+                        json.dumps(extra or {}),
+                        float(getattr(result, "wall_seconds", 0.0)),
+                        top_phase,
+                        float(top_phase_share),
+                        float(idle_cost),
+                        float(coldstart_cost),
+                        float(cost_per_1k),
+                        int(cell_retries),
+                        int(cell_timeouts),
+                        int(worker_crashes),
+                        int(worst_request_id),
+                        float(worst_request_latency),
+                        worst_request_phase,
+                    ),
+                )
+        except (sqlite3.OperationalError, OSError) as exc:
+            self._warn_write.note(self.path, exc)
+            return -1
         return int(cur.lastrowid)
 
     # ------------------------------------------------------------------
@@ -387,6 +430,12 @@ class RunLedger:
             cell_retries=row["cell_retries"] or 0,
             cell_timeouts=row["cell_timeouts"] or 0,
             worker_crashes=row["worker_crashes"] or 0,
+            worst_request_id=(
+                row["worst_request_id"]
+                if row["worst_request_id"] is not None else -1
+            ),
+            worst_request_latency=row["worst_request_latency"] or 0.0,
+            worst_request_phase=row["worst_request_phase"],
         )
 
     def list_runs(self, limit: Optional[int] = None) -> list[RunRecord]:
@@ -498,10 +547,12 @@ class RunLedger:
             # Host wall-clock is noisy between runs (shared machines, CPU
             # frequency scaling), so it gets a wider floor than the
             # simulated metrics: at least 25% relative worsening before
-            # it is flagged.
+            # it is flagged — and at least 0.5 s absolute, because on
+            # sub-second runs scheduler jitter alone exceeds any
+            # relative floor.
             wall_tol = max(rel_tolerance, 0.25)
             worse = cand.wall_seconds - base.wall_seconds
-            span = base.wall_seconds * wall_tol
+            span = max(base.wall_seconds * wall_tol, 0.5)
             deltas.append(
                 MetricDelta(
                     name="wall_seconds",

@@ -109,6 +109,28 @@ class TestMigration:
         assert r.coldstart_cost == 0.0
         assert r.cost_per_1k_requests == 0.0
 
+    def test_migrated_rows_default_worst_request_columns(self, v1_path):
+        # v5 added the worst-request forensics columns; pre-migration
+        # rows carry the "not traced" sentinels.
+        with RunLedger(v1_path) as ledger:
+            r = ledger.get(1)
+        assert r.worst_request_id == -1
+        assert r.worst_request_latency == 0.0
+        assert r.worst_request_phase is None
+
+    def test_migrated_file_accepts_v5_rows(self, v1_path):
+        with RunLedger(v1_path) as ledger:
+            run_id = ledger.record(
+                make_result(), trace="azure", seed=0,
+                worst_request_id=1234,
+                worst_request_latency=2.75,
+                worst_request_phase="cold_start_wait",
+            )
+            r = ledger.get(run_id)
+        assert r.worst_request_id == 1234
+        assert r.worst_request_latency == pytest.approx(2.75)
+        assert r.worst_request_phase == "cold_start_wait"
+
     def test_compare_skips_cost_deltas_for_v1_rows(self, v1_path):
         # Pre-migration rows carry cost_per_1k_requests=0, so the cost
         # deltas (which need both sides metered) must stay out.

@@ -202,3 +202,62 @@ class TestP2Quantile:
             P2Quantile(0.0)
         with pytest.raises(ValueError):
             P2Quantile(1.0)
+
+    def test_heavily_duplicated_stream(self):
+        # Near-constant latency streams (a warm pool at steady state)
+        # produce long runs of identical samples; the P² marker update
+        # divides by marker spacing, so duplicates are the classic way
+        # to wreck the estimator.  It must stay pinned to the mode.
+        from repro.telemetry.metrics import P2Quantile
+
+        est = P2Quantile(0.5)
+        for _ in range(1000):
+            est.add(1.0)
+        for _ in range(10):
+            est.add(10.0)
+        assert est.value() == pytest.approx(1.0, abs=0.05)
+
+    def test_all_identical_samples(self):
+        from repro.telemetry.metrics import P2Quantile
+
+        est = P2Quantile(0.99)
+        for _ in range(500):
+            est.add(0.25)
+        assert est.value() == 0.25
+
+    def test_duplicated_stream_through_histogram(self):
+        import numpy as np
+
+        from repro.telemetry.metrics import Histogram
+
+        rng = np.random.default_rng(8)
+        data = np.array([0.1] * 8000 + [0.5] * 1500 + [2.0] * 500)
+        rng.shuffle(data)
+        h = Histogram("lat")
+        for v in data:
+            h.observe(v)
+        assert not h.exact
+        for q in Histogram.TRACKED_QUANTILES:
+            est = h.quantile(q)
+            true = float(np.quantile(data, q))
+            assert est == pytest.approx(true, rel=0.10), (q, est, true)
+
+    def test_handover_exactly_past_raw_cap(self):
+        # n = RAW_SAMPLE_CAP + 1 is the seeding edge: the estimator is
+        # seeded from the full exact prefix and has absorbed exactly one
+        # streamed sample.  Accuracy must not fall off a cliff there.
+        import numpy as np
+
+        from repro.telemetry.metrics import Histogram
+
+        rng = np.random.default_rng(0)
+        data = rng.exponential(0.1, size=Histogram.RAW_SAMPLE_CAP + 1)
+        h = Histogram("lat")
+        for v in data:
+            h.observe(v)
+        assert h.n == Histogram.RAW_SAMPLE_CAP + 1
+        assert not h.exact
+        for q in Histogram.TRACKED_QUANTILES:
+            est = h.quantile(q)
+            true = float(np.quantile(data, q))
+            assert est == pytest.approx(true, rel=0.02), (q, est, true)
